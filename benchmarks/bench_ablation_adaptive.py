@@ -1,0 +1,34 @@
+"""Ablation bench: the adaptive xPTP/LRU switch on a phased workload.
+
+Deviation note (see EXPERIMENTS.md): in the paper's full-detail simulator
+xPTP can *hurt* low-pressure phases, so the adaptive scheme beats
+always-on.  Our simplified timing model underprices the L2C capacity an
+always-on xPTP steals from quiet phases, so always-on is never punished;
+the bench therefore asserts the switch's *mechanism* (phase tracking and
+near-always-on performance), not superiority over always-on.
+"""
+
+from repro.experiments import ablation_adaptive
+
+from .conftest import run_figure
+
+
+def test_ablation_adaptive(benchmark):
+    results = run_figure(
+        benchmark, ablation_adaptive.run, warmup=40_000, measure=240_000,
+        phase_records=10_000,
+    )
+    rows = {r["scheme"]: r for r in results[0].as_dicts()}
+    adaptive = rows["adaptive T1=1"]
+    always = rows["always-on"]
+    # The switch tracks phases: xPTP is enabled for the pressure phases
+    # only (roughly half the windows), and still improves on the LRU
+    # baseline while staying within a few points of always-on.
+    assert 25.0 < adaptive["windows_xptp_enabled_pct"] < 85.0
+    assert adaptive["ipc_improvement_pct"] > 0
+    assert adaptive["ipc_improvement_pct"] > always["ipc_improvement_pct"] - 4.0
+    # Raising T1 makes the switch more conservative (fewer enabled windows).
+    assert (
+        rows["adaptive T1=4"]["windows_xptp_enabled_pct"]
+        <= rows["adaptive T1=0"]["windows_xptp_enabled_pct"]
+    )

@@ -1,0 +1,30 @@
+"""Ablation bench: iTP N/M and xPTP K parameter sweeps (Section 5.1)."""
+
+from repro.experiments import ablation_params
+
+from .conftest import run_figure
+
+
+def test_ablation_nm(benchmark):
+    results = run_figure(
+        benchmark, ablation_params.run_nm, server_count=2,
+        warmup=40_000, measure=120_000,
+    )
+    rows = results[0].as_dicts()
+    # Every (N, M) point of the sweep keeps the iTP trade: iMPKI below and
+    # dMPKI above the workload's LRU levels seen at the widest setting.
+    impki = [r["mean_impki"] for r in rows]
+    assert max(impki) < 4.0
+    improvements = [r["geomean_ipc_improvement_pct"] for r in rows]
+    assert max(improvements) - min(improvements) < 6.0  # "no significant variation"
+
+
+def test_ablation_k(benchmark):
+    results = run_figure(
+        benchmark, ablation_params.run_k, server_count=2,
+        warmup=40_000, measure=120_000,
+    )
+    rows = {r["K"]: r for r in results[0].as_dicts()}
+    # Larger K protects data PTEs more aggressively: dtMPKI decreases
+    # monotonically-ish and K=8 clearly beats K=1 on PTE retention.
+    assert rows[8]["mean_l2c_dtmpki"] < rows[1]["mean_l2c_dtmpki"]

@@ -1,0 +1,27 @@
+"""Extension bench: STLB prefetching on the LRU baseline and on iTP+xPTP.
+
+Reproduces the Section 7 claim that iTP is orthogonal to translation
+prefetching: a sequential STLB prefetcher helps the big-code server
+workloads both with and without iTP+xPTP.
+"""
+
+from repro.experiments import ext_stlb_prefetch
+
+from .conftest import run_figure
+
+
+def test_ext_stlb_prefetch(benchmark):
+    results = run_figure(
+        benchmark, ext_stlb_prefetch.run, server_count=3,
+        warmup=50_000, measure=150_000,
+    )
+    rows = {r["scheme"]: r for r in results[0].as_dicts()}
+    # Sequential prefetching exploits the code stream's page sequentiality.
+    assert rows["lru+seq-pf"]["geomean_ipc_improvement_pct"] > 0.5
+    # And it composes with iTP+xPTP (orthogonality).
+    assert (
+        rows["itp+xptp+seq-pf"]["geomean_ipc_improvement_pct"]
+        > rows["itp+xptp"]["geomean_ipc_improvement_pct"]
+    )
+    # The prefetchers actually prefetch.
+    assert rows["lru+seq-pf"]["mean_pf_fills_pki"] > 1.0

@@ -1,0 +1,22 @@
+"""Figure 1 bench: instruction translation cost vs ITLB size."""
+
+from repro.experiments import fig01_itlb_cost
+
+from .conftest import run_figure
+
+
+def test_fig01_itlb_cost(benchmark):
+    """Server workloads pay heavy instruction-translation cost; SPEC does not."""
+    results = run_figure(
+        benchmark, fig01_itlb_cost.run, server_count=2, spec_count=2,
+        warmup=40_000, measure=120_000,
+    )
+    rows = results[0].as_dicts()
+    server = {r["itlb_entries"]: r["pct_cycles_instr_translation"]
+              for r in rows if r["class"] == "server"}
+    spec = {r["itlb_entries"]: r["pct_cycles_instr_translation"]
+            for r in rows if r["class"] == "spec"}
+    # Paper shape: server pays far more than SPEC at realistic sizes, and
+    # the cost falls as the ITLB grows.
+    assert server[16] > 10 * max(spec[16], 1e-6)
+    assert server[256] < server[8]

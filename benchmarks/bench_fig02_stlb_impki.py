@@ -1,0 +1,18 @@
+"""Figure 2 bench: STLB instruction MPKI, server vs SPEC."""
+
+from repro.experiments import fig02_stlb_impki
+
+from .conftest import run_figure
+
+
+def test_fig02_stlb_impki(benchmark):
+    results = run_figure(
+        benchmark, fig02_stlb_impki.run, server_count=4, spec_count=3,
+        warmup=40_000, measure=120_000,
+    )
+    rows = results[0].as_dicts()
+    server_mean = next(r for r in rows if r["class"] == "server" and r["workload"] == "MEAN")
+    spec_mean = next(r for r in rows if r["class"] == "spec" and r["workload"] == "MEAN")
+    # Paper shape: server iMPKI substantial, SPEC negligible.
+    assert server_mean["stlb_impki"] > 0.5
+    assert spec_mean["stlb_impki"] < 0.05

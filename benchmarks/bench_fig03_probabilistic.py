@@ -1,0 +1,19 @@
+"""Figure 3 bench: probabilistic instruction-priority LRU sweep."""
+
+from repro.experiments import fig03_probabilistic
+
+from .conftest import run_figure
+
+
+def test_fig03_probabilistic(benchmark):
+    results = run_figure(
+        benchmark, fig03_probabilistic.run, server_count=3,
+        warmup=50_000, measure=150_000,
+    )
+    rows = results[0].as_dicts()
+    geomean = {r["P"]: r["ipc_improvement_pct"]
+               for r in rows if r["workload"] == "GEOMEAN"}
+    # Paper shape: protecting instructions (high P) wins; evicting them
+    # (low P) is worse than keeping them.
+    assert geomean[0.8] > 0
+    assert geomean[0.8] > geomean[0.2]

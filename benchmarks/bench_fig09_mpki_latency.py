@@ -1,0 +1,31 @@
+"""Figure 9 bench: MPKI and miss latency per level.
+
+Deviation note (see EXPERIMENTS.md): the paper reports a 46% STLB
+miss-latency cut for iTP+xPTP because unprotected data walks are
+DRAM-bound at full scale; at this reproduction's horizons the LLC retains
+PTE lines, so the cut is present but smaller (~10-20%).  The directional
+assertions below capture the paper's shape.
+"""
+
+from repro.experiments import fig09_mpki_latency
+
+from .conftest import run_figure
+
+TECHNIQUES = ("lru", "tdrrip", "ptp", "itp", "itp+xptp")
+
+
+def test_fig09_mpki_latency(benchmark):
+    results = run_figure(
+        benchmark, fig09_mpki_latency.run, techniques=TECHNIQUES,
+        server_count=3, per_category=1, warmup=50_000, measure=150_000,
+    )
+    single = {r["technique"]: r for r in results[0].as_dicts()}
+    # iTP+xPTP lowers the average STLB miss latency vs both LRU and iTP
+    # alone (data walks become L2C hits)...
+    assert single["itp+xptp"]["stlb_avg_miss_lat"] < 0.95 * single["lru"]["stlb_avg_miss_lat"]
+    assert single["itp+xptp"]["stlb_avg_miss_lat"] < single["itp"]["stlb_avg_miss_lat"]
+    # ...raises L2C MPKI slightly (PTE blocks displace demand blocks) while
+    # *cutting* the L2C miss latency, and lowers LLC MPKI — the Figure 9 shape.
+    assert single["itp+xptp"]["l2c_mpki"] >= single["lru"]["l2c_mpki"] - 0.5
+    assert single["itp+xptp"]["l2c_avg_miss_lat"] < single["lru"]["l2c_avg_miss_lat"]
+    assert single["itp+xptp"]["llc_mpki"] <= single["lru"]["llc_mpki"]

@@ -1,0 +1,20 @@
+"""Figure 10 bench: STLB iMPKI/dMPKI breakdown, LRU vs iTP."""
+
+from repro.experiments import fig10_stlb_breakdown
+
+from .conftest import run_figure
+
+
+def test_fig10_stlb_breakdown(benchmark):
+    results = run_figure(
+        benchmark, fig10_stlb_breakdown.run, server_count=3, per_category=1,
+        warmup=50_000, measure=150_000,
+    )
+    rows = results[0].as_dicts()
+    by_key = {(r["scenario"], r["technique"]): r for r in rows}
+    for scenario in ("1T", "2T"):
+        lru = by_key[(scenario, "lru")]
+        itp = by_key[(scenario, "itp")]
+        # iTP trades data misses for instruction hits in both scenarios.
+        assert itp["impki"] < lru["impki"]
+        assert itp["dmpki"] > lru["dmpki"]

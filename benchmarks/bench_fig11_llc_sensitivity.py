@@ -1,0 +1,20 @@
+"""Figure 11 bench: sensitivity to the LLC replacement policy."""
+
+from repro.experiments import fig11_llc_sensitivity
+
+from .conftest import run_figure
+
+
+def test_fig11_llc_sensitivity(benchmark):
+    results = run_figure(
+        benchmark, fig11_llc_sensitivity.run, server_count=3, per_category=1,
+        warmup=50_000, measure=150_000,
+    )
+    rows = results[0].as_dicts()
+    one_t = {(r["llc_policy"], r["technique"]): r["geomean_ipc_improvement_pct"]
+             for r in rows if r["scenario"] == "1T"}
+    # Paper shape: iTP gains are consistent across LLC policies, and
+    # iTP+xPTP adds on top of iTP for every LLC policy.
+    for llc in ("lru", "ship", "mockingjay"):
+        assert one_t[(llc, "itp")] > -1.0
+        assert one_t[(llc, "itp+xptp")] >= one_t[(llc, "itp")] - 0.5

@@ -1,0 +1,19 @@
+"""Figure 12 bench: sensitivity to the ITLB size."""
+
+from repro.experiments import fig12_itlb_sensitivity
+
+from .conftest import run_figure
+
+
+def test_fig12_itlb_sensitivity(benchmark):
+    results = run_figure(
+        benchmark, fig12_itlb_sensitivity.run, server_count=3, per_category=1,
+        warmup=50_000, measure=150_000,
+    )
+    rows = results[0].as_dicts()
+    one_t = {(r["itlb_entries"], r["technique"]): r["geomean_ipc_improvement_pct"]
+             for r in rows if r["scenario"] == "1T"}
+    # Paper shape: solid gains at realistic sizes; reduced gains once the
+    # ITLB is large enough to absorb the instruction footprint.
+    assert one_t[(16, "itp+xptp")] > 2.0
+    assert one_t[(256, "itp+xptp")] < one_t[(16, "itp+xptp")]

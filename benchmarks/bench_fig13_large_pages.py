@@ -1,0 +1,22 @@
+"""Figure 13 bench: 2 MB page coverage sweep."""
+
+from repro.experiments import fig13_large_pages
+
+from .conftest import run_figure
+
+
+def test_fig13_large_pages(benchmark):
+    results = run_figure(
+        benchmark, fig13_large_pages.run, server_count=2, per_category=1,
+        warmup=50_000, measure=150_000,
+    )
+    rows = results[0].as_dicts()
+    xptp_1t = {r["pct_2mb"]: r["geomean_ipc_improvement_pct"]
+               for r in rows if r["scenario"] == "1T" and r["technique"] == "itp+xptp"}
+    # Paper shape: all techniques' benefits shrink as 2 MB coverage grows.
+    assert xptp_1t[0] > xptp_1t[50] - 0.5
+    assert xptp_1t[0] > xptp_1t[100]
+    # At 0% iTP+xPTP is the best technique.
+    zero = {r["technique"]: r["geomean_ipc_improvement_pct"]
+            for r in rows if r["scenario"] == "1T" and r["pct_2mb"] == 0}
+    assert zero["itp+xptp"] == max(zero.values())

@@ -1,0 +1,18 @@
+"""Figure 14 bench: unified STLB + iTP+xPTP vs split STLB."""
+
+from repro.experiments import fig14_split_stlb
+
+from .conftest import run_figure
+
+
+def test_fig14_split_stlb(benchmark):
+    results = run_figure(
+        benchmark, fig14_split_stlb.run, server_count=3,
+        warmup=50_000, measure=150_000,
+    )
+    rows = {r["design"]: r["geomean_ipc_improvement_pct"]
+            for r in results[0].as_dicts()}
+    # Paper shape: equal-capacity split STLB is behind unified iTP+xPTP;
+    # the 2x unified iTP+xPTP beats the 2x split design.
+    assert rows["unified-1x iTP+xPTP"] > rows["split-1x LRU"]
+    assert rows["unified-2x iTP+xPTP"] > rows["split-2x LRU"]

@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one of the paper's figures.  A simulation sweep
+is expensive, so every bench runs exactly one round (``pedantic``), prints
+the reproduced rows/series, and attaches the headline numbers to the
+pytest-benchmark record via ``extra_info``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import FigureResult, format_figure
+
+
+def run_figure(benchmark, runner, label=None, **kwargs):
+    """Run a figure driver once under pytest-benchmark and print its table."""
+    results = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+    if isinstance(results, FigureResult):
+        results = [results]
+    for figure in results:
+        print()
+        print(format_figure(figure))
+        benchmark.extra_info[figure.figure] = figure.as_dicts()
+    if label:
+        benchmark.extra_info["label"] = label
+    return results

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Extending the simulator with a custom STLB replacement policy.
+
+The library's policy interfaces are public extension points.  This example
+implements SRRIP-for-TLBs as a new STLB policy, registers nothing (policies
+can be wired directly), and races it against LRU and iTP on a server
+workload — the workflow a researcher prototyping a new TLB policy would
+follow.
+
+Run:  python examples/custom_policy.py
+"""
+
+from typing import Sequence
+
+from repro import ServerWorkload, simulate
+from repro.common.params import scaled_config
+from repro.common.types import AccessType
+from repro.core.system import System
+from repro.core.cpu import Core
+from repro.tlb.entry import TLBEntry
+from repro.tlb.policies.base import TLBReplacementPolicy
+
+RRPV_MAX = 3
+
+
+class TLBSRRIPPolicy(TLBReplacementPolicy):
+    """Re-reference interval prediction applied to STLB entries.
+
+    Type-oblivious (like LRU/CHiRP): a useful control to show that generic
+    scan resistance alone does not recover iTP's instruction-aware gains.
+    """
+
+    name = "tlb-srrip"
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self.rrpv = [[RRPV_MAX] * associativity for _ in range(num_sets)]
+
+    def victim(self, set_index: int, entries: Sequence[TLBEntry]) -> int:
+        row = self.rrpv[set_index]
+        while True:
+            for way, value in enumerate(row):
+                if value >= RRPV_MAX:
+                    return way
+            for way in range(self.associativity):
+                row[way] += 1
+
+    def on_insert(self, set_index, way, entries, access_type: AccessType) -> None:
+        self.rrpv[set_index][way] = RRPV_MAX - 1
+
+    def on_hit(self, set_index, way, entries, access_type: AccessType) -> None:
+        self.rrpv[set_index][way] = 0
+
+
+def run_with_stlb_policy(policy_factory, workload, label):
+    """Wire a custom policy object into a freshly built system."""
+    from repro.common.stats import LevelStats
+    from repro.tlb.tlb import TLB
+
+    config = scaled_config()
+    system = System(config, workload.size_policy)
+    if policy_factory is not None:
+        stlb_cfg = config.stlb
+        system.mmu.stlb = TLB(
+            stlb_cfg,
+            policy_factory(stlb_cfg.num_sets, stlb_cfg.associativity),
+            system.stats.level("STLB"),
+        )
+    core = Core(system)
+    stream = workload.record_stream()
+    while system.stats.instructions < 50_000:
+        core.execute(next(stream))
+    system.stats.reset()
+    cycles = 0.0
+    while system.stats.instructions < 150_000:
+        cycles += core.execute(next(stream))
+    system.stats.cycles = cycles
+    print(f"{label:<12} ipc={system.stats.ipc:.4f} "
+          f"stlb impki={system.stats.report()['stlb.impki']:.2f} "
+          f"dmpki={system.stats.report()['stlb.dmpki']:.2f}")
+    return system.stats.ipc
+
+
+def main() -> None:
+    workload = ServerWorkload("custom", seed=9)
+    lru_ipc = run_with_stlb_policy(None, workload, "lru")
+    run_with_stlb_policy(TLBSRRIPPolicy, workload, "tlb-srrip")
+
+    # iTP via the standard config path, for reference.
+    itp = simulate(
+        scaled_config().with_policies(stlb="itp"), workload, 50_000, 150_000
+    )
+    print(f"{'itp':<12} ipc={itp.ipc:.4f} "
+          f"stlb impki={itp.get('stlb.impki'):.2f} dmpki={itp.get('stlb.dmpki'):.2f}")
+    print()
+    print(f"iTP vs LRU: {100.0 * (itp.ipc / lru_ipc - 1.0):+.1f}%  — "
+          "type-awareness, not just scan resistance, is what pays off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: measure iTP+xPTP against the LRU baseline on one workload.
+
+Builds the scaled Table 1 system twice — once all-LRU, once with iTP at
+the STLB and xPTP at the L2C — runs the same big-code server workload on
+both, and prints the headline comparison the paper's abstract makes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ServerWorkload, simulate
+from repro.common.params import scaled_config
+
+
+def main() -> None:
+    # A Qualcomm-server-like workload: multi-MB instruction footprint,
+    # large data footprint, heavy STLB pressure (DESIGN.md §3).
+    workload = ServerWorkload("quickstart", seed=42)
+
+    baseline = scaled_config()                                    # LRU everywhere
+    proposal = baseline.with_policies(stlb="itp", l2c="xptp")     # iTP+xPTP
+
+    print(f"workload: {workload.name} "
+          f"(code={workload.code_pages} pages, data={workload.data_pages} pages)")
+    print("running LRU baseline...")
+    base = simulate(baseline, workload, warmup_instructions=60_000,
+                    measure_instructions=200_000, config_label="lru")
+    print("running iTP+xPTP...")
+    prop = simulate(proposal, workload, warmup_instructions=60_000,
+                    measure_instructions=200_000, config_label="itp+xptp")
+
+    speedup = 100.0 * (prop.ipc / base.ipc - 1.0)
+    print()
+    print(f"{'metric':<28}{'LRU':>12}{'iTP+xPTP':>12}")
+    for label, key in [
+        ("IPC", "ipc"),
+        ("STLB instruction MPKI", "stlb.impki"),
+        ("STLB data MPKI", "stlb.dmpki"),
+        ("STLB avg miss latency", "stlb.avg_miss_latency"),
+        ("L2C data-PTE MPKI", "l2c.dtmpki"),
+        ("LLC MPKI", "llc.mpki"),
+    ]:
+        print(f"{label:<28}{base.get(key):>12.3f}{prop.get(key):>12.3f}")
+    print()
+    print(f"IPC improvement: {speedup:+.1f}%  "
+          "(iTP keeps instruction translations in the STLB; xPTP keeps the "
+          "resulting data page walks fed from the L2C)")
+
+
+if __name__ == "__main__":
+    main()

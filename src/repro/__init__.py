@@ -1,0 +1,91 @@
+"""repro — reproduction of "Instruction-Aware Cooperative TLB and Cache
+Replacement Policies" (Chasapis, Vavouliotis, Jiménez, Casas — ASPLOS 2025).
+
+The package implements the paper's contributions — the iTP STLB replacement
+policy, the xPTP L2C replacement policy and the adaptive iTP+xPTP scheme —
+on top of a from-scratch trace-driven simulator: multi-level TLBs, a
+5-level radix page table with split page structure caches and a hardware
+walker, a three-level cache hierarchy with MSHRs and prefetchers, DRAM, and
+single-thread/SMT core timing models.  Baseline policies (LRU, SRRIP,
+DRRIP, TDRRIP, PTP, SHiP, Mockingjay, CHiRP, probabilistic LRU) are
+included for the paper's comparisons.
+
+Quickstart::
+
+    from repro import make_config, simulate, ServerWorkload
+
+    baseline = make_config()                                   # Table 1, LRU everywhere
+    proposal = baseline.with_policies(stlb="itp", l2c="xptp")  # iTP+xPTP
+    wl = ServerWorkload("demo", seed=1)
+    print(simulate(proposal, wl).ipc / simulate(baseline, wl).ipc)
+"""
+
+from .common import (
+    AccessType,
+    EnergyModel,
+    energy_report,
+    CacheConfig,
+    ITPConfig,
+    MemoryRequest,
+    PageSize,
+    RequestType,
+    SimStats,
+    SystemConfig,
+    TABLE1,
+    TLBConfig,
+    TraceRecord,
+    XPTPConfig,
+    make_config,
+)
+from .common.params import scaled_config
+from .core import (
+    SimulationResult,
+    System,
+    simulate,
+    simulate_smt,
+)
+from .replacement import available_policies, make_cache_policy
+from .tlb import available_tlb_policies, make_tlb_policy
+from .workloads import (
+    PhasedWorkload,
+    ServerWorkload,
+    SpecLikeWorkload,
+    server_suite,
+    smt_mixes,
+    spec_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessType",
+    "CacheConfig",
+    "ITPConfig",
+    "MemoryRequest",
+    "PageSize",
+    "PhasedWorkload",
+    "RequestType",
+    "ServerWorkload",
+    "SimStats",
+    "SimulationResult",
+    "SpecLikeWorkload",
+    "System",
+    "SystemConfig",
+    "TABLE1",
+    "TLBConfig",
+    "TraceRecord",
+    "XPTPConfig",
+    "EnergyModel",
+    "available_policies",
+    "available_tlb_policies",
+    "energy_report",
+    "scaled_config",
+    "make_cache_policy",
+    "make_config",
+    "make_tlb_policy",
+    "server_suite",
+    "simulate",
+    "simulate_smt",
+    "smt_mixes",
+    "spec_suite",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the quick policy-comparison CLI (see repro.cli)."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

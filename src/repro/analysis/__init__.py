@@ -1,0 +1,20 @@
+"""Offline analysis tools: stack distance, Belady's MIN, workload characterization."""
+
+from .belady import BeladyResult, belady_min, belady_set_assoc, optimality_gap
+from .characterize import WorkloadCharacter, characterize, characterize_records
+from .probe import AccessProbe, probe_cache_input
+from .stack_distance import StackDistanceAnalyzer, StackDistanceProfile
+
+__all__ = [
+    "AccessProbe",
+    "BeladyResult",
+    "StackDistanceAnalyzer",
+    "StackDistanceProfile",
+    "WorkloadCharacter",
+    "belady_min",
+    "belady_set_assoc",
+    "characterize",
+    "characterize_records",
+    "optimality_gap",
+    "probe_cache_input",
+]

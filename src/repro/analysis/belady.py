@@ -1,0 +1,91 @@
+"""Belady's MIN: the offline-optimal replacement bound.
+
+Given a full access stream and a capacity, MIN evicts the block whose next
+use lies furthest in the future; no online policy can miss less.  Useful
+as the upper bound when evaluating replacement policies (Mockingjay is
+explicitly built to mimic it).
+
+Fully-associative implementation: two passes — one to index next-use
+positions, one simulation with a lazy max-heap.  ``belady_set_assoc``
+applies MIN independently per cache set, matching a set-associative
+structure's constraint.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+_INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class BeladyResult:
+    accesses: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+
+def belady_min(keys: Sequence[int], capacity: int) -> BeladyResult:
+    """Offline-optimal hit/miss counts for a fully-associative cache."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    keys = list(keys)
+    next_use: Dict[int, deque] = defaultdict(deque)
+    for position, key in enumerate(keys):
+        next_use[key].append(position)
+
+    resident: Dict[int, float] = {}
+    # Lazy heap of (-next_position, key): stale entries skipped on pop.
+    heap: List = []
+    hits = 0
+    for position, key in enumerate(keys):
+        uses = next_use[key]
+        uses.popleft()
+        upcoming = uses[0] if uses else _INFINITY
+        if key in resident:
+            hits += 1
+        elif len(resident) >= capacity:
+            while True:
+                neg_pos, victim = heapq.heappop(heap)
+                if victim in resident and resident[victim] == -neg_pos:
+                    del resident[victim]
+                    break
+        resident[key] = upcoming
+        heapq.heappush(heap, (-upcoming, key))
+    return BeladyResult(len(keys), hits, len(keys) - hits)
+
+
+def belady_set_assoc(
+    keys: Sequence[int], num_sets: int, associativity: int
+) -> BeladyResult:
+    """Offline-optimal for a set-associative cache (MIN per set)."""
+    if num_sets <= 0 or num_sets & (num_sets - 1):
+        raise ValueError("num_sets must be a positive power of two")
+    per_set: Dict[int, List[int]] = defaultdict(list)
+    for key in keys:
+        per_set[key & (num_sets - 1)].append(key)
+    accesses = hits = 0
+    for set_keys in per_set.values():
+        result = belady_min(set_keys, associativity)
+        accesses += result.accesses
+        hits += result.hits
+    return BeladyResult(accesses, hits, accesses - hits)
+
+
+def optimality_gap(policy_misses: int, keys: Sequence[int], capacity: int) -> float:
+    """How far a policy's miss count is above the offline optimum (ratio)."""
+    optimum = belady_min(keys, capacity).misses
+    if optimum == 0:
+        return 0.0 if policy_misses == 0 else _INFINITY
+    return policy_misses / optimum

@@ -1,0 +1,108 @@
+"""Workload characterization.
+
+Summarises a workload prefix the way Section 3 of the paper characterises
+its traces: instruction/data page footprints, access mix, and page-level
+reuse — the inputs to Findings 1–3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from ..common.types import CACHE_LINE_BYTES, PAGE_BYTES, TraceRecord
+from ..workloads.base import SyntheticWorkload
+from .stack_distance import StackDistanceAnalyzer, StackDistanceProfile
+
+
+@dataclass
+class WorkloadCharacter:
+    """Footprint and mix statistics for a workload prefix."""
+
+    name: str
+    records: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    code_pages: int = 0
+    data_pages: int = 0
+    code_bytes: int = 0
+    instruction_page_profile: StackDistanceProfile = field(
+        default_factory=StackDistanceProfile
+    )
+    data_page_profile: StackDistanceProfile = field(default_factory=StackDistanceProfile)
+
+    @property
+    def loads_per_kilo_instruction(self) -> float:
+        return 1000.0 * self.loads / self.instructions if self.instructions else 0.0
+
+    @property
+    def stores_per_kilo_instruction(self) -> float:
+        return 1000.0 * self.stores / self.instructions if self.instructions else 0.0
+
+    def itlb_mpki_estimate(self, entries: int) -> float:
+        """Instruction-TLB MPKI a fully-associative LRU of ``entries`` would see."""
+        profile = self.instruction_page_profile
+        misses = profile.accesses - profile.hits_at_capacity(entries)
+        return 1000.0 * misses / self.instructions if self.instructions else 0.0
+
+    def dtlb_mpki_estimate(self, entries: int) -> float:
+        profile = self.data_page_profile
+        misses = profile.accesses - profile.hits_at_capacity(entries)
+        return 1000.0 * misses / self.instructions if self.instructions else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "records": float(self.records),
+            "instructions": float(self.instructions),
+            "code_pages": float(self.code_pages),
+            "code_kb": self.code_bytes / 1024.0,
+            "data_pages": float(self.data_pages),
+            "loads_pki": self.loads_per_kilo_instruction,
+            "stores_pki": self.stores_per_kilo_instruction,
+        }
+
+
+def characterize(
+    workload: SyntheticWorkload, records: int = 50_000
+) -> WorkloadCharacter:
+    """Analyse the first ``records`` fetch groups of ``workload``."""
+    return characterize_records(
+        itertools.islice(workload.record_stream(), records), name=workload.name
+    )
+
+
+def characterize_records(
+    records: Iterable[TraceRecord], name: str = "trace"
+) -> WorkloadCharacter:
+    """Analyse an explicit record stream (e.g. a replayed trace file)."""
+    character = WorkloadCharacter(name)
+    code_pages = set()
+    code_lines = set()
+    data_pages = set()
+    instr_analyzer = StackDistanceAnalyzer()
+    data_analyzer = StackDistanceAnalyzer()
+
+    for record in records:
+        character.records += 1
+        character.instructions += record.num_instrs
+        page = record.pc // PAGE_BYTES
+        code_pages.add(page)
+        code_lines.add(record.pc // CACHE_LINE_BYTES)
+        instr_analyzer.access(page)
+        for addr in record.loads:
+            character.loads += 1
+            data_pages.add(addr // PAGE_BYTES)
+            data_analyzer.access(addr // PAGE_BYTES)
+        for addr in record.stores:
+            character.stores += 1
+            data_pages.add(addr // PAGE_BYTES)
+            data_analyzer.access(addr // PAGE_BYTES)
+
+    character.code_pages = len(code_pages)
+    character.code_bytes = len(code_lines) * CACHE_LINE_BYTES
+    character.data_pages = len(data_pages)
+    character.instruction_page_profile = instr_analyzer.profile
+    character.data_page_profile = data_analyzer.profile
+    return character

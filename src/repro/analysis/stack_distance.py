@@ -1,0 +1,141 @@
+"""Mattson stack-distance analysis.
+
+One pass over an access stream yields LRU hit counts for *every* capacity
+simultaneously (Mattson et al., 1970) — the tool behind "how big must the
+ITLB/STLB be" questions like the paper's Figure 1 sweep, without running
+one simulation per size.
+
+The implementation keeps the LRU stack as an order-statistics treap keyed
+by last-access time, giving O(log n) per access; a histogram of reuse
+stack distances is accumulated and converted to hit-rate curves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class _Treap:
+    """Order-statistics treap over last-access timestamps (larger = nearer MRU)."""
+
+    __slots__ = ("key", "priority", "size", "left", "right")
+
+    def __init__(self, key: int, priority: float) -> None:
+        self.key = key
+        self.priority = priority
+        self.size = 1
+        self.left: Optional["_Treap"] = None
+        self.right: Optional["_Treap"] = None
+
+
+def _size(node: Optional[_Treap]) -> int:
+    return node.size if node is not None else 0
+
+
+def _update(node: _Treap) -> _Treap:
+    node.size = 1 + _size(node.left) + _size(node.right)
+    return node
+
+
+def _merge(left: Optional[_Treap], right: Optional[_Treap]) -> Optional[_Treap]:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left.priority > right.priority:
+        left.right = _merge(left.right, right)
+        return _update(left)
+    right.left = _merge(left, right.left)
+    return _update(right)
+
+
+def _split(node: Optional[_Treap], key: int) -> Tuple[Optional[_Treap], Optional[_Treap]]:
+    """Split into (keys < key, keys >= key)."""
+    if node is None:
+        return None, None
+    if node.key < key:
+        left, right = _split(node.right, key)
+        node.right = left
+        return _update(node), right
+    left, right = _split(node.left, key)
+    node.left = right
+    return left, _update(node)
+
+
+def _rank_above(node: Optional[_Treap], key: int) -> int:
+    """Number of keys strictly greater than ``key`` (entries nearer MRU)."""
+    rank = 0
+    while node is not None:
+        if node.key > key:
+            rank += 1 + _size(node.right)
+            node = node.left
+        else:
+            node = node.right
+    return rank
+
+
+@dataclass
+class StackDistanceProfile:
+    """Result of a stack-distance pass."""
+
+    accesses: int = 0
+    cold_misses: int = 0
+    histogram: Dict[int, int] = field(default_factory=dict)
+
+    def hits_at_capacity(self, capacity: int) -> int:
+        """Accesses that would hit a fully-associative LRU of ``capacity``."""
+        return sum(n for d, n in self.histogram.items() if d < capacity)
+
+    def hit_rate(self, capacity: int) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.hits_at_capacity(capacity) / self.accesses
+
+    def miss_curve(self, capacities: Iterable[int]) -> List[Tuple[int, float]]:
+        """(capacity, miss-rate) points — the Figure 1-style size sweep."""
+        return [(c, 1.0 - self.hit_rate(c)) for c in capacities]
+
+    def mpki_curve(self, capacities: Iterable[int], instructions: int) -> List[Tuple[int, float]]:
+        return [
+            (c, 1000.0 * (self.accesses - self.hits_at_capacity(c) ) / instructions)
+            for c in capacities
+        ]
+
+
+class StackDistanceAnalyzer:
+    """Streaming Mattson analysis over an arbitrary key stream."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._root: Optional[_Treap] = None
+        self._last_time: Dict[int, int] = {}
+        self._clock = 0
+        self.profile = StackDistanceProfile()
+
+    def access(self, key: int) -> Optional[int]:
+        """Record one access; returns its stack distance (None if cold)."""
+        self._clock += 1
+        profile = self.profile
+        profile.accesses += 1
+        previous = self._last_time.get(key)
+        distance: Optional[int] = None
+        if previous is None:
+            profile.cold_misses += 1
+        else:
+            distance = _rank_above(self._root, previous)
+            profile.histogram[distance] = profile.histogram.get(distance, 0) + 1
+            # Remove the old timestamp node.
+            left, rest = _split(self._root, previous)
+            __, right = _split(rest, previous + 1)
+            self._root = _merge(left, right)
+        node = _Treap(self._clock, self._rng.random())
+        self._root = _merge(self._root, node)
+        self._last_time[key] = self._clock
+        return distance
+
+    def run(self, keys: Iterable[int]) -> StackDistanceProfile:
+        for key in keys:
+            self.access(key)
+        return self.profile

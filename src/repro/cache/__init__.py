@@ -1,0 +1,24 @@
+"""Cache hierarchy substrate: lines, MSHRs, set-associative caches, prefetchers."""
+
+from .cache import SetAssociativeCache
+from .line import CacheLine
+from .mshr import MSHREntry, MSHRFile
+from .prefetch import (
+    FDIPPrefetcher,
+    NextLinePrefetcher,
+    Prefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+
+__all__ = [
+    "CacheLine",
+    "FDIPPrefetcher",
+    "MSHREntry",
+    "MSHRFile",
+    "NextLinePrefetcher",
+    "Prefetcher",
+    "SetAssociativeCache",
+    "StridePrefetcher",
+    "make_prefetcher",
+]

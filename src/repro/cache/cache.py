@@ -1,0 +1,243 @@
+"""Set-associative cache level with MSHRs, writebacks and prefetch support.
+
+The hierarchy is non-inclusive and synchronous: a miss recursively accesses
+the next level within the same call and the returned latency is the demand
+latency of this access.  The xPTP ``Type`` dataflow of Figure 7 is modelled
+exactly: a missing page-walk reference allocates an MSHR entry carrying
+``is_pte``/``translation_type``, and when the fill completes the bits are
+written back into the installed :class:`CacheLine`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+from ..common.params import CacheConfig
+from ..common.stats import LevelStats, categorize
+from ..common.types import AccessType, MemoryRequest, RequestType
+from ..replacement.base import CacheReplacementPolicy
+from ..replacement.drrip import DRRIPPolicy
+from .line import CacheLine
+from .mshr import MSHRFile
+
+
+class MemoryLevel(Protocol):
+    """Anything a cache can forward misses to (another cache or DRAM)."""
+
+    def access(self, req: MemoryRequest) -> int: ...
+
+
+class SetAssociativeCache:
+    """One cache level (L1I, L1D, L2C or LLC)."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        policy: CacheReplacementPolicy,
+        next_level: MemoryLevel,
+        stats: LevelStats,
+        prefetcher: Optional["Prefetcher"] = None,
+    ) -> None:
+        if policy.num_sets != config.num_sets or policy.associativity != config.associativity:
+            raise ValueError(
+                f"{config.name}: policy geometry {policy.num_sets}x{policy.associativity} "
+                f"does not match cache {config.num_sets}x{config.associativity}"
+            )
+        self.config = config
+        self.policy = policy
+        self.next_level = next_level
+        self.stats = stats
+        self.prefetcher = prefetcher
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self._set_mask = self.num_sets - 1
+        self.sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(self.associativity)] for _ in range(self.num_sets)
+        ]
+        # Per-set tag->way map for O(1) lookup.
+        self._tag_maps: List[dict] = [dict() for _ in range(self.num_sets)]
+        self.mshrs = MSHRFile(config.mshr_entries)
+
+    # ------------------------------------------------------------------ #
+    # Lookup helpers
+    # ------------------------------------------------------------------ #
+
+    def probe(self, address: int) -> bool:
+        """Non-intrusive presence check (no state update)."""
+        line_address = address >> 6
+        set_index = line_address & self._set_mask
+        tag = line_address // self.num_sets
+        return tag in self._tag_maps[set_index]
+
+    # ------------------------------------------------------------------ #
+    # Demand path
+    # ------------------------------------------------------------------ #
+
+    def access(self, req: MemoryRequest) -> int:
+        """Demand access; returns the total latency observed by the requester."""
+        if req.req_type == RequestType.WRITEBACK:
+            self._handle_writeback(req)
+            return 0
+        if req.req_type == RequestType.PREFETCH:
+            return self._access_prefetch(req)
+        line_address = req.address >> 6
+        set_index = line_address & self._set_mask
+        tag = line_address // self.num_sets
+        way = self._tag_maps[set_index].get(tag)
+        category = categorize(req)
+        latency = self.config.latency
+
+        if way is not None:
+            line = self.sets[set_index][way]
+            self._strengthen_type(line, req)
+            if req.req_type == RequestType.STORE:
+                line.dirty = True
+            if line.prefetched:
+                line.prefetched = False
+                self.stats.prefetch_hits += 1
+            self.policy.on_hit(set_index, way, self.sets[set_index], req)
+            self.stats.record_access(category, hit=True)
+            if self.prefetcher is not None:
+                self.prefetcher.on_access(self, req, hit=True)
+            return latency
+
+        # Miss path -------------------------------------------------------
+        latency += self.mshrs.structural_penalty()
+        self.mshrs.allocate(line_address, req.req_type, req.is_pte, req.translation_type)
+        if isinstance(self.policy, DRRIPPolicy):
+            self.policy.record_miss(set_index)
+        miss_latency = self.next_level.access(req)
+        latency += miss_latency
+        entry = self.mshrs.release(line_address)
+        self._fill(set_index, tag, req, entry)
+        self.stats.record_access(category, hit=False, miss_latency=latency)
+        if self.prefetcher is not None:
+            self.prefetcher.on_access(self, req, hit=False)
+        return latency
+
+    def _access_prefetch(self, req: MemoryRequest) -> int:
+        """Serve a prefetch issued by an upper level.
+
+        Prefetch-through: the block is fetched for the requesting level but
+        not allocated here, so upper-level prefetch streams (FDIP, L1D
+        next-line) do not pollute the L2C/LLC.  A level allocates only the
+        prefetches its *own* prefetcher issues (via :meth:`prefetch`).
+        Prefetch traffic is tracked separately so demand MPKI figures match
+        the paper's accounting.
+        """
+        line_address = req.address >> 6
+        set_index = line_address & self._set_mask
+        tag = line_address // self.num_sets
+        self.stats.prefetch_requests += 1
+        if tag in self._tag_maps[set_index]:
+            return self.config.latency
+        self.next_level.access(req)
+        return self.config.latency
+
+    # ------------------------------------------------------------------ #
+    # Fill / evict
+    # ------------------------------------------------------------------ #
+
+    def _fill(self, set_index: int, tag: int, req: MemoryRequest, mshr_entry) -> None:
+        lines = self.sets[set_index]
+        tag_map = self._tag_maps[set_index]
+        way = self._find_invalid_way(lines)
+        if way is None:
+            way = self.policy.victim(set_index, lines, req)
+            self._evict(set_index, way)
+        line = lines[way]
+        line.valid = True
+        line.tag = tag
+        line.dirty = req.req_type == RequestType.STORE
+        line.prefetched = req.req_type == RequestType.PREFETCH
+        # Figure 7 step 3.1: the Type bit travels through the MSHR and is
+        # written back into the block on fill.
+        if mshr_entry is not None and mshr_entry.is_pte:
+            line.is_pte = True
+            line.translation_type = mshr_entry.translation_type
+        else:
+            line.is_pte = req.is_pte
+            line.translation_type = req.translation_type if req.is_pte else None
+        tag_map[tag] = way
+        self.policy.on_fill(set_index, way, lines, req)
+
+    def _find_invalid_way(self, lines: List[CacheLine]) -> Optional[int]:
+        for way, line in enumerate(lines):
+            if not line.valid:
+                return way
+        return None
+
+    def _evict(self, set_index: int, way: int) -> None:
+        lines = self.sets[set_index]
+        line = lines[way]
+        if not line.valid:
+            return
+        self.stats.evictions += 1
+        self.policy.on_evict(set_index, way, lines)
+        del self._tag_maps[set_index][line.tag]
+        if line.dirty:
+            self.stats.writebacks += 1
+            victim_line_address = line.tag * self.num_sets + set_index
+            wb = MemoryRequest(
+                address=victim_line_address << 6,
+                req_type=RequestType.WRITEBACK,
+                is_pte=line.is_pte,
+                translation_type=line.translation_type,
+            )
+            self.next_level.access(wb)
+        line.invalidate()
+
+    def _handle_writeback(self, req: MemoryRequest) -> None:
+        """Absorb a writeback from the level above (write-allocate)."""
+        line_address = req.address >> 6
+        set_index = line_address & self._set_mask
+        tag = line_address // self.num_sets
+        way = self._tag_maps[set_index].get(tag)
+        if way is not None:
+            line = self.sets[set_index][way]
+            line.dirty = True
+            self._strengthen_type(line, req)
+            return
+        self._fill(set_index, tag, req, None)
+        # _fill marked dirty only for STORE; writebacks are dirty by definition.
+        self.sets[set_index][self._tag_maps[set_index][tag]].dirty = True
+
+    @staticmethod
+    def _strengthen_type(line: CacheLine, req: MemoryRequest) -> None:
+        """Once a block is known to hold (data) PTEs, the information sticks."""
+        if req.is_pte:
+            line.is_pte = True
+            if line.translation_type is None:
+                line.translation_type = req.translation_type
+            elif req.translation_type == AccessType.DATA:
+                line.translation_type = AccessType.DATA
+
+    # ------------------------------------------------------------------ #
+    # Prefetch path
+    # ------------------------------------------------------------------ #
+
+    def prefetch(self, line_address: int, pc: int = 0) -> None:
+        """Bring ``line_address`` into this level off the demand path."""
+        set_index = line_address & self._set_mask
+        tag = line_address // self.num_sets
+        if tag in self._tag_maps[set_index]:
+            return
+        req = MemoryRequest(address=line_address << 6, req_type=RequestType.PREFETCH, pc=pc)
+        self.next_level.access(req)
+        self._fill(set_index, tag, req, None)
+        self.stats.prefetch_fills += 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection (tests, experiments)
+    # ------------------------------------------------------------------ #
+
+    def contents(self, set_index: int) -> List[CacheLine]:
+        return self.sets[set_index]
+
+    def occupancy(self) -> int:
+        return sum(len(m) for m in self._tag_maps)
+
+    def data_pte_blocks(self) -> int:
+        return sum(
+            1 for s in self.sets for line in s if line.valid and line.is_data_pte
+        )

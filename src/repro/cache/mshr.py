@@ -1,0 +1,90 @@
+"""Miss Status Holding Registers.
+
+The model is synchronous (a miss is resolved within the same ``access``
+call), so MSHRs do not buffer time.  They are still modelled explicitly
+because the paper's mechanism depends on them: xPTP stores the ``Type`` bit
+of a page-walk reference in the allocated L2C MSHR entry and writes it back
+to the cache block when the fill returns (Figure 7, steps 3/3.1); iTP does
+the same for STLB misses (step 2).  Exceeding the MSHR count charges a
+structural-hazard penalty, which is how MSHR pressure shows up in the
+simplified timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..common.types import AccessType, RequestType
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss: block address plus the propagated Type bit."""
+
+    block_address: int
+    req_type: RequestType
+    is_pte: bool = False
+    translation_type: Optional[AccessType] = None
+
+
+class MSHRFile:
+    """Fixed-capacity MSHR file with structural-hazard accounting."""
+
+    def __init__(self, num_entries: int, full_penalty: int = 2) -> None:
+        if num_entries <= 0:
+            raise ValueError("MSHR file needs at least one entry")
+        self.num_entries = num_entries
+        self.full_penalty = full_penalty
+        self._entries: Dict[int, MSHREntry] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.full_events = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, block_address: int) -> Optional[MSHREntry]:
+        return self._entries.get(block_address)
+
+    def allocate(
+        self,
+        block_address: int,
+        req_type: RequestType,
+        is_pte: bool = False,
+        translation_type: Optional[AccessType] = None,
+    ) -> MSHREntry:
+        """Allocate (or merge into) an entry for ``block_address``.
+
+        A merge keeps the strongest Type information: once any requester
+        marks the block as a data-PTE line, the bit sticks so the fill tags
+        the cache block correctly.
+        """
+        entry = self._entries.get(block_address)
+        if entry is not None:
+            self.merges += 1
+            if is_pte:
+                entry.is_pte = True
+                if entry.translation_type is None:
+                    entry.translation_type = translation_type
+                elif translation_type == AccessType.DATA:
+                    entry.translation_type = AccessType.DATA
+            return entry
+        if len(self._entries) >= self.num_entries:
+            # Structural hazard: the model retires the oldest entry
+            # immediately (fills are synchronous) and charges a penalty.
+            self.full_events += 1
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        entry = MSHREntry(block_address, req_type, is_pte, translation_type)
+        self._entries[block_address] = entry
+        self.allocations += 1
+        return entry
+
+    def release(self, block_address: int) -> Optional[MSHREntry]:
+        """Complete the fill: remove and return the entry (with its Type bit)."""
+        return self._entries.pop(block_address, None)
+
+    def structural_penalty(self) -> int:
+        """Extra cycles to charge if the file is (nearly) full."""
+        return self.full_penalty if len(self._entries) >= self.num_entries else 0

@@ -1,0 +1,35 @@
+"""Cache prefetchers (Table 1: FDIP for L1I, next-line for L1D, stride for L2C)."""
+
+from typing import Optional
+
+from .base import Prefetcher
+from .fdip import FDIPPrefetcher
+from .next_line import NextLinePrefetcher
+from .stride import StridePrefetcher
+
+_FACTORIES = {
+    "next_line": NextLinePrefetcher,
+    "stride": StridePrefetcher,
+    "fdip": FDIPPrefetcher,
+}
+
+
+def make_prefetcher(name: Optional[str]) -> Optional[Prefetcher]:
+    """Instantiate a prefetcher by name; ``None`` means no prefetcher."""
+    if name is None:
+        return None
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown prefetcher {name!r}; available: {', '.join(sorted(_FACTORIES))}"
+        ) from None
+
+
+__all__ = [
+    "FDIPPrefetcher",
+    "NextLinePrefetcher",
+    "Prefetcher",
+    "StridePrefetcher",
+    "make_prefetcher",
+]

@@ -1,0 +1,26 @@
+"""Prefetcher interface.
+
+Prefetchers observe demand accesses to the cache they are attached to and
+issue off-demand fills via :meth:`SetAssociativeCache.prefetch`.  They never
+add latency to the triggering access.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from ...common.types import MemoryRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache import SetAssociativeCache
+
+
+class Prefetcher(abc.ABC):
+    """Base class for cache prefetchers."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def on_access(self, cache: "SetAssociativeCache", req: MemoryRequest, hit: bool) -> None:
+        """Observe a demand access and optionally issue prefetches."""

@@ -1,0 +1,42 @@
+"""FDIP-style instruction prefetcher (Table 1: L1I, "FDiP").
+
+Fetch-Directed Instruction Prefetching runs the branch-predictor-driven
+fetch target queue ahead of the fetch unit and prefetches the lines the FTQ
+will need.  Without modelling a full decoupled front end, the dominant
+effect is that *sequential* fetch misses are covered ahead of time; we model
+it as a multi-line sequential prefetcher with a small run filter so taken
+branches (non-sequential records) restart the run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...common.types import MemoryRequest, RequestType
+from .base import Prefetcher
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache import SetAssociativeCache
+
+
+class FDIPPrefetcher(Prefetcher):
+    name = "fdip"
+
+    def __init__(self, depth: int = 4) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._last_line = -1
+
+    def on_access(self, cache: "SetAssociativeCache", req: MemoryRequest, hit: bool) -> None:
+        if req.req_type != RequestType.IFETCH:
+            return
+        line = req.address >> 6
+        if line == self._last_line + 1:
+            # Sequential fetch: run the FTQ ahead by ``depth`` lines.
+            for step in range(1, self.depth + 1):
+                cache.prefetch(line + step, pc=req.pc)
+        else:
+            # Redirect (taken branch): prefetch the immediate fall-through.
+            cache.prefetch(line + 1, pc=req.pc)
+        self._last_line = line

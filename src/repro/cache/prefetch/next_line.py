@@ -1,0 +1,29 @@
+"""Next-line prefetcher (Table 1: L1D)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...common.types import MemoryRequest, RequestType
+from .base import Prefetcher
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache import SetAssociativeCache
+
+
+class NextLinePrefetcher(Prefetcher):
+    """On every demand access, prefetch the next ``degree`` sequential lines."""
+
+    name = "next_line"
+
+    def __init__(self, degree: int = 1) -> None:
+        if degree <= 0:
+            raise ValueError("degree must be positive")
+        self.degree = degree
+
+    def on_access(self, cache: "SetAssociativeCache", req: MemoryRequest, hit: bool) -> None:
+        if req.req_type == RequestType.PREFETCH:
+            return
+        line = req.address >> 6
+        for step in range(1, self.degree + 1):
+            cache.prefetch(line + step, pc=req.pc)

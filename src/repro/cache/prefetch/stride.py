@@ -1,0 +1,52 @@
+"""PC-indexed stride prefetcher (Table 1: L2C)."""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING, Tuple
+
+from ...common.types import MemoryRequest, RequestType
+from .base import Prefetcher
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache import SetAssociativeCache
+
+TABLE_ENTRIES = 1024
+
+
+class StridePrefetcher(Prefetcher):
+    """Classic per-PC stride detector with 2-step confirmation.
+
+    Tracks the last line address and last stride per PC; after observing the
+    same stride twice it prefetches ``degree`` strided lines ahead.
+    """
+
+    name = "stride"
+
+    def __init__(self, degree: int = 2) -> None:
+        if degree <= 0:
+            raise ValueError("degree must be positive")
+        self.degree = degree
+        # pc_hash -> (last_line, last_stride, confidence)
+        self.table: Dict[int, Tuple[int, int, int]] = {}
+
+    def on_access(self, cache: "SetAssociativeCache", req: MemoryRequest, hit: bool) -> None:
+        if req.req_type in (RequestType.PREFETCH, RequestType.PTW):
+            return
+        key = (req.pc ^ (req.pc >> 10)) % TABLE_ENTRIES
+        line = req.address >> 6
+        last = self.table.get(key)
+        if last is None:
+            self.table[key] = (line, 0, 0)
+            return
+        last_line, last_stride, confidence = last
+        stride = line - last_line
+        if stride == 0:
+            return
+        if stride == last_stride:
+            confidence = min(confidence + 1, 3)
+        else:
+            confidence = 0
+        self.table[key] = (line, stride, confidence)
+        if confidence >= 1:
+            for step in range(1, self.degree + 1):
+                cache.prefetch(line + stride * step, pc=req.pc)

@@ -1,0 +1,156 @@
+"""Quick policy-comparison command line.
+
+``python -m repro`` (or the ``repro-compare`` console script) runs a set of
+techniques on a workload and prints IPC, speedups and the key TLB/cache
+metrics — the fastest way to poke at the system without writing code.
+
+Examples::
+
+    python -m repro --techniques lru itp itp+xptp --workload server --seed 3
+    python -m repro --workload spec --measure 100000
+    python -m repro --list
+    python -m repro --describe
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .common.energy import energy_report
+from .common.params import SystemConfig, scaled_config
+from .core.simulator import simulate
+from .experiments.reporting import format_table
+from .experiments.runner import MEASURE, POLICY_MATRIX, WARMUP, config_for
+from .workloads.phased import PhasedWorkload
+from .workloads.server import ServerWorkload
+from .workloads.speclike import SpecLikeWorkload
+
+WORKLOAD_KINDS = ("server", "spec", "phased")
+
+
+def describe(config: SystemConfig) -> str:
+    """Render a configuration as a Table 1-style listing."""
+    rows = [
+        ["ITLB", f"{config.itlb.entries}e", f"{config.itlb.associativity}-way",
+         f"{config.itlb.latency}c", "lru"],
+        ["DTLB", f"{config.dtlb.entries}e", f"{config.dtlb.associativity}-way",
+         f"{config.dtlb.latency}c", "lru"],
+        ["STLB", f"{config.stlb.entries}e", f"{config.stlb.associativity}-way",
+         f"{config.stlb.latency}c", config.stlb_policy],
+        ["L1I", f"{config.l1i.size_bytes // 1024}KB", f"{config.l1i.associativity}-way",
+         f"{config.l1i.latency}c", f"lru + {config.l1i.prefetcher or '-'}"],
+        ["L1D", f"{config.l1d.size_bytes // 1024}KB", f"{config.l1d.associativity}-way",
+         f"{config.l1d.latency}c", f"lru + {config.l1d.prefetcher or '-'}"],
+        ["L2C", f"{config.l2c.size_bytes // 1024}KB", f"{config.l2c.associativity}-way",
+         f"{config.l2c.latency}c", f"{config.l2c_policy} + {config.l2c.prefetcher or '-'}"],
+        ["LLC", f"{config.llc.size_bytes // 1024}KB", f"{config.llc.associativity}-way",
+         f"{config.llc.latency}c", config.llc_policy],
+        ["DRAM", "-", "-", f"{config.dram.latency}c", "-"],
+    ]
+    header = format_table(["structure", "capacity", "assoc", "latency", "policy"], rows)
+    extras = (
+        f"iTP: N={config.itp.insert_depth_n} M={config.itp.data_promote_m} "
+        f"Freq={config.itp.freq_bits}b | xPTP: K={config.xptp.k} | "
+        f"adaptive: T1={config.adaptive.t1_misses}/"
+        f"{config.adaptive.window_instructions} instr"
+        f" ({'on' if config.adaptive.enabled else 'off'})"
+    )
+    return f"{header}\n{extras}"
+
+
+def make_workload(kind: str, seed: int):
+    if kind == "server":
+        return ServerWorkload(f"server_{seed}", seed)
+    if kind == "spec":
+        return SpecLikeWorkload(f"spec_{seed}", seed)
+    if kind == "phased":
+        return PhasedWorkload(f"phased_{seed}", seed)
+    raise ValueError(f"unknown workload kind {kind!r}; choose from {WORKLOAD_KINDS}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-compare",
+        description="Compare TLB/cache replacement techniques on a synthetic workload.",
+    )
+    parser.add_argument(
+        "--techniques", nargs="+", default=["lru", "itp", "itp+xptp"],
+        metavar="TECH", help=f"techniques from Table 2: {', '.join(POLICY_MATRIX)}",
+    )
+    parser.add_argument("--workload", choices=WORKLOAD_KINDS, default="server")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--warmup", type=int, default=WARMUP)
+    parser.add_argument("--measure", type=int, default=MEASURE)
+    parser.add_argument(
+        "--large-pages", type=int, default=0, metavar="PCT",
+        help="percent of the footprint on 2MB pages (Section 6.5)",
+    )
+    parser.add_argument("--energy", action="store_true", help="include pJ/instruction")
+    parser.add_argument("--list", action="store_true", help="list techniques and exit")
+    parser.add_argument("--describe", action="store_true",
+                        help="print the simulated system configuration and exit")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, policies in POLICY_MATRIX.items():
+            spec = ", ".join(f"{k}={v}" for k, v in policies.items()) or "all-LRU baseline"
+            print(f"{name:<14} {spec}")
+        return 0
+    if args.describe:
+        print(describe(scaled_config()))
+        return 0
+
+    unknown = [t for t in args.techniques if t not in POLICY_MATRIX]
+    if unknown:
+        print(f"unknown technique(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    workload = make_workload(args.workload, args.seed)
+    if args.large_pages:
+        workload.large_page_percent = args.large_pages
+
+    headers = ["technique", "ipc", "speedup_%", "stlb_impki", "stlb_dmpki",
+               "stlb_miss_lat", "l2c_dtmpki", "llc_mpki"]
+    if args.energy:
+        headers.append("pj_per_instr")
+    rows = []
+    baseline_ipc = None
+    for technique in args.techniques:
+        result = simulate(
+            config_for(technique), workload, args.warmup, args.measure,
+            config_label=technique,
+        )
+        if baseline_ipc is None:
+            baseline_ipc = result.ipc
+        row = [
+            technique,
+            result.ipc,
+            100.0 * (result.ipc / baseline_ipc - 1.0),
+            result.get("stlb.impki"),
+            result.get("stlb.dmpki"),
+            result.get("stlb.avg_miss_latency"),
+            result.get("l2c.dtmpki"),
+            result.get("llc.mpki"),
+        ]
+        if args.energy:
+            row.append(energy_report(result.stats).pj_per_instruction)
+        rows.append(row)
+        print(f"finished {technique}", file=sys.stderr)
+    print(format_table(headers, rows))
+    print(f"(speedup vs first technique: {args.techniques[0]}; "
+          f"workload={workload.name}, {args.measure} measured instructions)")
+    return 0
+
+
+def cli() -> None:
+    """Console-script entry point."""
+    raise SystemExit(main())
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""Shared primitives: types, configuration, statistics, recency stack, energy."""
+
+from .energy import EnergyModel, EnergyReport, energy_report
+from .params import (
+    AdaptiveConfig,
+    CacheConfig,
+    CoreConfig,
+    DRAMConfig,
+    ITPConfig,
+    PSCConfig,
+    SystemConfig,
+    TABLE1,
+    TLBConfig,
+    XPTPConfig,
+    inorder_core,
+    make_config,
+)
+from .recency import RecencyStack
+from .stats import LevelStats, SimStats, categorize
+from .types import (
+    AccessResult,
+    AccessType,
+    CACHE_LINE_BYTES,
+    MemoryRequest,
+    PAGE_BYTES,
+    PageSize,
+    RequestType,
+    TraceRecord,
+    line_of,
+    vpn_of,
+)
+
+__all__ = [
+    "AccessResult",
+    "EnergyModel",
+    "EnergyReport",
+    "energy_report",
+    "AccessType",
+    "AdaptiveConfig",
+    "CACHE_LINE_BYTES",
+    "CacheConfig",
+    "CoreConfig",
+    "DRAMConfig",
+    "ITPConfig",
+    "LevelStats",
+    "MemoryRequest",
+    "PAGE_BYTES",
+    "PSCConfig",
+    "PageSize",
+    "RecencyStack",
+    "RequestType",
+    "SimStats",
+    "SystemConfig",
+    "TABLE1",
+    "TLBConfig",
+    "TraceRecord",
+    "XPTPConfig",
+    "categorize",
+    "inorder_core",
+    "line_of",
+    "make_config",
+    "vpn_of",
+]

@@ -1,0 +1,116 @@
+"""Post-hoc energy accounting.
+
+The paper motivates TLB work partly by the energy cost of page walks
+(Section 1 cites performance *and energy* overheads of STLB misses).  This
+module estimates dynamic energy from a finished simulation's statistics:
+each structure access is charged a fixed per-access energy (CACTI-class
+ballpark numbers for a ~22 nm node, configurable), so policies can be
+compared on pJ-per-instruction as well as IPC.
+
+This is bookkeeping over :class:`SimStats` — it adds no simulation cost
+and can be applied to any :class:`SimulationResult` after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .stats import SimStats
+
+#: Default per-access dynamic energy in picojoules.  Ballpark figures in the
+#: spirit of CACTI estimates for the Table 1 geometries; absolute values are
+#: not calibrated — only relative comparisons between policies are meaningful.
+DEFAULT_ENERGY_PJ: Dict[str, float] = {
+    "ITLB": 0.6,
+    "DTLB": 0.6,
+    "STLB": 2.5,
+    "L1I": 5.0,
+    "L1D": 5.0,
+    "L2C": 18.0,
+    "LLC": 45.0,
+    "DRAM": 1600.0,
+}
+
+#: Energy of one page-structure-cache probe.
+PSC_ACCESS_PJ = 0.4
+
+
+@dataclass
+class EnergyReport:
+    """Dynamic-energy estimate for one simulation."""
+
+    total_pj: float
+    per_structure_pj: Dict[str, float]
+    instructions: int
+    walk_pj: float
+
+    @property
+    def pj_per_instruction(self) -> float:
+        return self.total_pj / self.instructions if self.instructions else 0.0
+
+    @property
+    def walk_share(self) -> float:
+        """Fraction of dynamic energy spent on address translation."""
+        return self.walk_pj / self.total_pj if self.total_pj else 0.0
+
+
+@dataclass
+class EnergyModel:
+    """Configurable per-access energy charge table."""
+
+    energy_pj: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_ENERGY_PJ))
+    psc_pj: float = PSC_ACCESS_PJ
+
+    def report(self, stats: SimStats) -> EnergyReport:
+        per_structure: Dict[str, float] = {}
+        for name, level in stats.levels.items():
+            charge = self.energy_pj.get(name)
+            if charge is None:
+                continue
+            accesses = level.accesses + level.prefetch_requests + level.prefetch_fills
+            per_structure[name] = accesses * charge
+        walk_refs = (
+            stats.counters.get("ptw.data_walk_refs", 0)
+            + stats.counters.get("ptw.instr_walk_refs", 0)
+            + stats.counters.get("ptw.pf_data_walk_refs", 0)
+            + stats.counters.get("ptw.pf_instr_walk_refs", 0)
+        )
+        walks = (
+            stats.counters.get("ptw.data_walks", 0)
+            + stats.counters.get("ptw.instr_walks", 0)
+            + stats.counters.get("ptw.pf_data_walks", 0)
+            + stats.counters.get("ptw.pf_instr_walks", 0)
+        )
+        psc_energy = walks * self.psc_pj
+        per_structure["PSC"] = psc_energy
+        total = sum(per_structure.values())
+        # Translation energy: TLB lookups, PSC probes and the walk's share of
+        # cache/DRAM traffic (approximated by its L2C-access fraction).
+        l2c = stats.levels.get("L2C")
+        walk_cache_pj = 0.0
+        if l2c is not None and l2c.accesses:
+            fraction = walk_refs / l2c.accesses
+            walk_cache_pj = fraction * (
+                per_structure.get("L2C", 0.0)
+                + per_structure.get("LLC", 0.0)
+                + per_structure.get("DRAM", 0.0)
+            )
+        walk_pj = (
+            per_structure.get("ITLB", 0.0)
+            + per_structure.get("DTLB", 0.0)
+            + per_structure.get("STLB", 0.0)
+            + psc_energy
+            + walk_cache_pj
+        )
+        return EnergyReport(
+            total_pj=total,
+            per_structure_pj=per_structure,
+            instructions=stats.instructions,
+            walk_pj=walk_pj,
+        )
+
+
+def energy_report(stats: SimStats, model: EnergyModel = None) -> EnergyReport:
+    """Convenience wrapper: estimate energy for a finished simulation."""
+    return (model or EnergyModel()).report(stats)

@@ -1,0 +1,305 @@
+"""Configuration dataclasses.
+
+Defaults encode Table 1 of the paper (the simulated system configuration).
+All latencies are in CPU cycles at the modelled 4 GHz clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    latency: int
+    mshr_entries: int
+    line_bytes: int = 64
+    replacement: str = "lru"
+    prefetcher: Optional[str] = None
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line*assoc ({self.line_bytes}*{self.associativity})"
+            )
+        num_sets = self.size_bytes // (self.line_bytes * self.associativity)
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"{self.name}: number of sets {num_sets} not a power of two")
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry and timing of one TLB level."""
+
+    name: str
+    entries: int
+    associativity: int
+    latency: int
+    mshr_entries: int = 8
+    replacement: str = "lru"
+
+    @property
+    def num_sets(self) -> int:
+        return self.entries // self.associativity
+
+    def __post_init__(self) -> None:
+        if self.entries % self.associativity:
+            raise ValueError(f"{self.name}: entries not divisible by associativity")
+        num_sets = self.entries // self.associativity
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"{self.name}: number of sets {num_sets} not a power of two")
+
+
+@dataclass(frozen=True)
+class PSCConfig:
+    """Split page structure caches (Table 1: PSCL5/4/3/2)."""
+
+    latency: int = 2
+    pscl5_entries: int = 2
+    pscl5_assoc: int = 2      # fully associative
+    pscl4_entries: int = 4
+    pscl4_assoc: int = 4      # fully associative
+    pscl3_entries: int = 8
+    pscl3_assoc: int = 2
+    pscl2_entries: int = 32
+    pscl2_assoc: int = 4
+
+
+@dataclass(frozen=True)
+class ITPConfig:
+    """iTP parameters (Section 4.1): 3-bit Freq counter, N=4, M=8."""
+
+    insert_depth_n: int = 4
+    data_promote_m: int = 8
+    freq_bits: int = 3
+
+    @property
+    def freq_max(self) -> int:
+        return (1 << self.freq_bits) - 1
+
+
+@dataclass(frozen=True)
+class XPTPConfig:
+    """xPTP parameters (Section 4.2): K=8 in Table 1."""
+
+    k: int = 8
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Adaptive xPTP/LRU switch (Section 4.3.1).
+
+    Every ``window_instructions`` committed instructions the STLB miss count
+    is compared against ``t1_misses``; xPTP is enabled iff it is exceeded.
+    """
+
+    enabled: bool = True
+    window_instructions: int = 1000
+    t1_misses: int = 1
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Simplified core timing model parameters (Section 4 of DESIGN.md)."""
+
+    fetch_width: int = 6
+    rob_entries: int = 352
+    base_cpi: float = 0.4
+    # Data-side latency below this many cycles is fully hidden by the ROB.
+    rob_hide_cycles: int = 20
+    # Fraction of data-side latency beyond rob_hide_cycles that stalls commit.
+    data_overlap_factor: float = 0.3
+    # Stores retire through the store buffer; only this fraction of their
+    # overlap-adjusted latency reaches the critical path.
+    store_overlap_scale: float = 0.25
+    # Fraction of an L1I miss latency hidden by the decoupled front end (FDIP).
+    fdip_hide_factor: float = 0.3
+    # Pipeline-refill cost charged on top of the walk latency for each
+    # *instruction* STLB miss: the decoupled front end drains while fetch
+    # waits on the walk and takes this long to re-steer and refill
+    # (Section 3.2: instruction misses stall the pipeline; their cost is
+    # more than the raw translation latency).
+    fetch_resteer_penalty: int = 15
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """DRAM timing (Table 1: tRP=tRCD=tCAS=12 @ 12.8 GB/s).
+
+    Two timing modes:
+
+    * flat (default): every read costs ``latency`` CPU cycles;
+    * row-buffer (``row_buffer=True``): per-bank open-row tracking, with
+      Table 1's DRAM timing parameters scaled by ``clock_ratio`` (CPU
+      cycles per DRAM cycle) plus a fixed ``bus_overhead``.  A row hit
+      costs tCAS, a closed/conflicting row tRP+tRCD+tCAS.
+    """
+
+    latency: int = 120
+    # Extra cycles charged per outstanding-access pressure unit (bandwidth model).
+    contention_cycles: int = 24
+    contention_window: int = 64
+    # Row-buffer model (opt-in).
+    row_buffer: bool = False
+    banks: int = 8
+    row_bytes: int = 8192
+    t_rp: int = 12
+    t_rcd: int = 12
+    t_cas: int = 12
+    clock_ratio: float = 2.5
+    bus_overhead: int = 30
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full simulated system (Table 1 defaults)."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    itlb: TLBConfig = field(
+        default_factory=lambda: TLBConfig("ITLB", entries=64, associativity=4, latency=1)
+    )
+    dtlb: TLBConfig = field(
+        default_factory=lambda: TLBConfig("DTLB", entries=64, associativity=4, latency=1)
+    )
+    stlb: TLBConfig = field(
+        default_factory=lambda: TLBConfig(
+            "STLB", entries=1536, associativity=12, latency=8, mshr_entries=16
+        )
+    )
+    # Split-STLB mode (Section 6.6): when set, stlb describes the data STLB
+    # and istlb the instruction STLB.
+    istlb: Optional[TLBConfig] = None
+    psc: PSCConfig = field(default_factory=PSCConfig)
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            "L1I", size_bytes=32 * 1024, associativity=8, latency=4,
+            mshr_entries=8, prefetcher="fdip",
+        )
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            "L1D", size_bytes=32 * 1024, associativity=8, latency=5,
+            mshr_entries=8, prefetcher="next_line",
+        )
+    )
+    l2c: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            "L2C", size_bytes=512 * 1024, associativity=8, latency=5,
+            mshr_entries=32, prefetcher="stride",
+        )
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            "LLC", size_bytes=2 * 1024 * 1024, associativity=16, latency=10,
+            mshr_entries=64,
+        )
+    )
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    itp: ITPConfig = field(default_factory=ITPConfig)
+    xptp: XPTPConfig = field(default_factory=XPTPConfig)
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+    stlb_policy: str = "lru"
+    l2c_policy: str = "lru"
+    llc_policy: str = "lru"
+    # P of the probabilistic instruction-priority LRU (Figure 3); only used
+    # when stlb_policy == "problru".
+    problru_p: float = 0.8
+    # Optional STLB prefetcher ("sequential" or "distance") — the Section 7
+    # extension; None matches the paper's evaluated configurations.
+    stlb_prefetcher: Optional[str] = None
+    num_threads: int = 1
+
+    def with_policies(
+        self,
+        stlb: Optional[str] = None,
+        l2c: Optional[str] = None,
+        llc: Optional[str] = None,
+    ) -> "SystemConfig":
+        """Return a copy with the given replacement policies substituted."""
+        cfg = self
+        if stlb is not None:
+            cfg = replace(cfg, stlb_policy=stlb)
+        if l2c is not None:
+            cfg = replace(cfg, l2c_policy=l2c)
+        if llc is not None:
+            cfg = replace(cfg, llc_policy=llc)
+        return cfg
+
+
+#: Table 1 of the paper, as-is.
+TABLE1 = SystemConfig()
+
+
+def make_config(**overrides) -> SystemConfig:
+    """Build a :class:`SystemConfig` starting from Table 1 with overrides."""
+    return replace(TABLE1, **overrides)
+
+
+def inorder_core() -> CoreConfig:
+    """An in-order core preset: no out-of-order latency hiding.
+
+    Useful as a sensitivity study: with every memory-system cycle exposed,
+    translation-side policies (iTP/xPTP) matter *more* than on the default
+    out-of-order model, since data page walks are no longer overlapped.
+    """
+    return CoreConfig(
+        base_cpi=1.0,
+        rob_hide_cycles=0,
+        data_overlap_factor=1.0,
+        store_overlap_scale=1.0,
+        fdip_hide_factor=0.0,
+        fetch_resteer_penalty=5,
+    )
+
+
+def scaled_config(scale: int = 4, **overrides) -> SystemConfig:
+    """Table 1 with all capacity structures divided by ``scale``.
+
+    The paper simulates 150 M instructions per experiment; a pure-Python
+    model cannot, so experiments run on a proportionally shrunken machine
+    against proportionally shrunken workload footprints (DESIGN.md §3).
+    Capacity *ratios* — code footprint vs STLB reach, hot set vs LLC, PTE
+    working set vs L2C — are preserved, which is what the replacement-policy
+    comparisons exercise.  Associativities, latencies and policy parameters
+    (N, M, K, Freq width) are untouched.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+
+    def tlb(cfg: TLBConfig) -> TLBConfig:
+        return replace(cfg, entries=max(cfg.associativity, cfg.entries // scale))
+
+    def cache(cfg: CacheConfig) -> CacheConfig:
+        min_size = cfg.line_bytes * cfg.associativity
+        return replace(cfg, size_bytes=max(min_size, cfg.size_bytes // scale))
+
+    base = SystemConfig(
+        itlb=tlb(TABLE1.itlb),
+        dtlb=tlb(TABLE1.dtlb),
+        stlb=tlb(TABLE1.stlb),
+        l1i=cache(TABLE1.l1i),
+        l1d=cache(TABLE1.l1d),
+        l2c=cache(TABLE1.l2c),
+        llc=cache(TABLE1.llc),
+        # N and M re-derived by parameter-space exploration on the scaled
+        # system (the paper does the same for its setup, Section 5.1): the
+        # scaled STLB has 4x fewer sets, so per-set promotion traffic is 4x
+        # the paper's and the Table 1 values (N=4, M=8) over-promote data.
+        itp=ITPConfig(insert_depth_n=2, data_promote_m=4),
+    )
+    return replace(base, **overrides)

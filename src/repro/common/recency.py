@@ -1,0 +1,93 @@
+"""Recency stack primitive.
+
+Both the paper's policies are defined in terms of an LRU recency stack with
+insertions/promotions at arbitrary depths (iTP: ``MRUpos - N`` and
+``LRUpos + M``; xPTP: victim selection by distance from ``LRUpos``).  This
+module provides that stack once, so every stack-based policy (LRU, iTP,
+xPTP, PTP) shares the same, well-tested semantics.
+
+Position conventions:
+
+* *depth from MRU*: 0 is the most recently used slot.
+* *height from LRU*: 0 is the least recently used slot (the eviction end).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+class RecencyStack:
+    """Ordered stack of way indices for a single set, MRU first."""
+
+    __slots__ = ("_order",)
+
+    def __init__(self) -> None:
+        self._order: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, way: int) -> bool:
+        return way in self._order
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate ways from MRU to LRU."""
+        return iter(self._order)
+
+    def order(self) -> List[int]:
+        """Copy of the MRU→LRU ordering (for tests and introspection)."""
+        return list(self._order)
+
+    @property
+    def mru_way(self) -> int:
+        if not self._order:
+            raise IndexError("empty recency stack")
+        return self._order[0]
+
+    @property
+    def lru_way(self) -> int:
+        if not self._order:
+            raise IndexError("empty recency stack")
+        return self._order[-1]
+
+    def depth_from_mru(self, way: int) -> int:
+        return self._order.index(way)
+
+    def height_from_lru(self, way: int) -> int:
+        return len(self._order) - 1 - self._order.index(way)
+
+    def remove(self, way: int) -> None:
+        self._order.remove(way)
+
+    def touch(self, way: int) -> None:
+        """Promote ``way`` to the MRU position (classic LRU update)."""
+        self._order.remove(way)
+        self._order.insert(0, way)
+
+    def place_at_depth(self, way: int, depth: int) -> None:
+        """Insert/move ``way`` to ``depth`` positions below MRU.
+
+        Depth is clamped to the stack size, so ``depth >= len`` inserts at
+        the LRU end.  All entries previously at or below that depth move one
+        position toward LRU — the paper's step (4) stack update.
+        """
+        if way in self._order:
+            self._order.remove(way)
+        depth = max(0, min(depth, len(self._order)))
+        self._order.insert(depth, way)
+
+    def place_above_lru(self, way: int, height: int) -> None:
+        """Insert/move ``way`` to ``height`` positions above the LRU end.
+
+        ``height=0`` is the LRU position itself (next eviction candidate);
+        this implements iTP's ``LRUpos + M`` data promotion.
+        """
+        if way in self._order:
+            self._order.remove(way)
+        index = len(self._order) - max(0, min(height, len(self._order)))
+        self._order.insert(index, way)
+
+    def ways_from_lru(self) -> Iterator[int]:
+        """Iterate ways from LRU to MRU (victim-search order)."""
+        return reversed(self._order)

@@ -1,0 +1,133 @@
+"""Statistics collection.
+
+Each hardware structure owns a stats object; the simulator aggregates them
+into a flat report at the end of a run.  MPKI-style metrics are computed
+against the committed-instruction counter held by :class:`SimStats`.
+
+The categories mirror Figure 4 of the paper: data (dMPKI), instruction
+(iMPKI), data-translation page-walk (dtMPKI) and instruction-translation
+page-walk (itMPKI) misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .types import AccessType, MemoryRequest, RequestType
+
+
+def categorize(req: MemoryRequest) -> str:
+    """Bucket a request into the paper's four MPKI categories."""
+    if req.is_pte:
+        return "dt" if req.translation_type == AccessType.DATA else "it"
+    if req.req_type == RequestType.IFETCH:
+        return "i"
+    return "d"
+
+
+@dataclass
+class LevelStats:
+    """Hit/miss/latency counters for one cache or TLB level."""
+
+    name: str
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    miss_latency_sum: int = 0
+    category_accesses: Dict[str, int] = field(default_factory=dict)
+    category_misses: Dict[str, int] = field(default_factory=dict)
+    evictions: int = 0
+    writebacks: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0
+    prefetch_requests: int = 0
+
+    def record_access(self, category: str, hit: bool, miss_latency: int = 0) -> None:
+        self.accesses += 1
+        self.category_accesses[category] = self.category_accesses.get(category, 0) + 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self.miss_latency_sum += miss_latency
+            self.category_misses[category] = self.category_misses.get(category, 0) + 1
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def avg_miss_latency(self) -> float:
+        return self.miss_latency_sum / self.misses if self.misses else 0.0
+
+    def mpki(self, instructions: int) -> float:
+        return 1000.0 * self.misses / instructions if instructions else 0.0
+
+    def category_mpki(self, category: str, instructions: int) -> float:
+        if not instructions:
+            return 0.0
+        return 1000.0 * self.category_misses.get(category, 0) / instructions
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = 0
+        self.miss_latency_sum = 0
+        self.category_accesses = {}
+        self.category_misses = {}
+        self.evictions = self.writebacks = 0
+        self.prefetch_fills = self.prefetch_hits = self.prefetch_requests = 0
+
+
+@dataclass
+class SimStats:
+    """Whole-simulation statistics: instruction/cycle counts plus per-level stats."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    levels: Dict[str, LevelStats] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    per_thread_instructions: Dict[int, int] = field(default_factory=dict)
+
+    def level(self, name: str) -> LevelStats:
+        if name not in self.levels:
+            self.levels[name] = LevelStats(name)
+        return self.levels[name]
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def mpki(self, level: str) -> float:
+        return self.level(level).mpki(self.instructions)
+
+    def reset(self) -> None:
+        """Reset all counters (used at the warmup/measurement boundary)."""
+        self.instructions = 0
+        self.cycles = 0.0
+        self.counters = {}
+        self.per_thread_instructions = {}
+        for lvl in self.levels.values():
+            lvl.reset()
+
+    def report(self) -> Dict[str, float]:
+        """Flatten everything into a single metric dictionary."""
+        out: Dict[str, float] = {
+            "instructions": float(self.instructions),
+            "cycles": float(self.cycles),
+            "ipc": self.ipc,
+        }
+        for name, lvl in self.levels.items():
+            key = name.lower()
+            out[f"{key}.accesses"] = float(lvl.accesses)
+            out[f"{key}.misses"] = float(lvl.misses)
+            out[f"{key}.mpki"] = lvl.mpki(self.instructions)
+            out[f"{key}.hit_rate"] = lvl.hit_rate
+            out[f"{key}.avg_miss_latency"] = lvl.avg_miss_latency
+            for cat in ("d", "i", "dt", "it"):
+                out[f"{key}.{cat}mpki"] = lvl.category_mpki(cat, self.instructions)
+        for cname, value in self.counters.items():
+            out[cname] = float(value)
+        return out

@@ -1,0 +1,120 @@
+"""Fundamental types shared across the simulator.
+
+Addresses are integer byte addresses.  Constants below fix the line/page
+geometry used throughout the model (64-byte cache blocks, 4 KB base pages,
+2 MB large pages; a 64-byte block holds eight 8-byte page-table entries).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+CACHE_LINE_BYTES = 64
+CACHE_LINE_BITS = 6
+PAGE_BYTES = 4096
+PAGE_BITS = 12
+LARGE_PAGE_BYTES = 2 * 1024 * 1024
+LARGE_PAGE_BITS = 21
+PTE_BYTES = 8
+PTES_PER_LINE = CACHE_LINE_BYTES // PTE_BYTES
+
+
+class AccessType(enum.IntEnum):
+    """Whether a translation (or memory reference) is for instructions or data.
+
+    Matches the paper's 1-bit ``Type`` field: 0 = instruction, 1 = data
+    (Section 4.3, Figure 7).
+    """
+
+    INSTRUCTION = 0
+    DATA = 1
+
+
+class RequestType(enum.IntEnum):
+    """Origin of a memory request flowing through the cache hierarchy."""
+
+    IFETCH = 0
+    LOAD = 1
+    STORE = 2
+    PTW = 3          # page-walk reference (PTE line)
+    PREFETCH = 4
+    WRITEBACK = 5
+
+
+class PageSize(enum.IntEnum):
+    """Supported page sizes (Section 6.5 evaluates 4 KB + 2 MB)."""
+
+    SIZE_4K = PAGE_BYTES
+    SIZE_2M = LARGE_PAGE_BYTES
+
+    @property
+    def offset_bits(self) -> int:
+        return PAGE_BITS if self is PageSize.SIZE_4K else LARGE_PAGE_BITS
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """A request presented to a cache level.
+
+    ``is_pte`` marks blocks that hold page-table entries; for those,
+    ``translation_type`` distinguishes instruction-PTE from data-PTE lines —
+    the information xPTP's Type bit carries through the L2C MSHR (Figure 7).
+    """
+
+    address: int
+    req_type: RequestType
+    is_pte: bool = False
+    translation_type: Optional[AccessType] = None
+    pc: int = 0
+    thread_id: int = 0
+    # Set for demand requests whose address translation missed in the STLB;
+    # T-DRRIP uses this to insert such blocks with distant re-reference.
+    stlb_miss: bool = False
+
+    @property
+    def line_address(self) -> int:
+        return self.address >> CACHE_LINE_BITS
+
+    @property
+    def is_data_pte(self) -> bool:
+        return self.is_pte and self.translation_type == AccessType.DATA
+
+    @property
+    def is_instr_pte(self) -> bool:
+        return self.is_pte and self.translation_type == AccessType.INSTRUCTION
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One fetch group of a workload trace.
+
+    A record corresponds to a contiguous run of ``num_instrs`` instructions
+    fetched from the cache line containing ``pc``, optionally performing
+    memory operations at the given virtual addresses.
+    """
+
+    pc: int
+    num_instrs: int = 1
+    loads: Tuple[int, ...] = ()
+    stores: Tuple[int, ...] = ()
+
+
+@dataclass
+class AccessResult:
+    """Outcome of an access to a cache/TLB level: latency and hit flag."""
+
+    latency: int
+    hit: bool
+    level: str = ""
+
+
+def line_of(address: int) -> int:
+    """Cache-line number of a byte address."""
+    return address >> CACHE_LINE_BITS
+
+
+def vpn_of(address: int, page_size: PageSize = PageSize.SIZE_4K) -> int:
+    """Virtual page number of a byte address for the given page size."""
+    return address >> page_size.offset_bits

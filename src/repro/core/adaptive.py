@@ -1,0 +1,66 @@
+"""Adaptive xPTP/LRU selection — Section 4.3.1.
+
+The mechanism is two counters and a 1-bit status register: one counter
+counts committed instructions, the other STLB misses.  When the instruction
+counter reaches the window size (1000), the miss counter is compared with
+the threshold ``T1``; the status register enables xPTP iff the miss count
+exceeds it, and both counters reset.  Disabling xPTP makes its eviction
+steps a–d no-ops, degenerating the L2C to exact LRU — no second policy
+implementation is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.params import AdaptiveConfig
+from ..replacement.xptp import XPTPPolicy
+from ..tlb.hierarchy import MMU
+
+
+class AdaptiveXPTPController:
+    """Drives :attr:`XPTPPolicy.enabled` from windowed STLB miss counts."""
+
+    def __init__(
+        self,
+        config: AdaptiveConfig,
+        mmu: MMU,
+        xptp_policy: Optional[XPTPPolicy],
+    ) -> None:
+        self.config = config
+        self.mmu = mmu
+        self.xptp_policy = xptp_policy
+        self._window_instructions = 0
+        self.switches = 0
+        self.windows_enabled = 0
+        self.windows_total = 0
+        if xptp_policy is not None and config.enabled:
+            # Start disabled: the first window must demonstrate STLB pressure.
+            xptp_policy.enabled = False
+
+    @property
+    def active(self) -> bool:
+        return self.xptp_policy is not None and self.config.enabled
+
+    def on_instructions(self, count: int) -> None:
+        """Account ``count`` committed instructions; maybe close a window."""
+        if not self.active:
+            return
+        self._window_instructions += count
+        if self._window_instructions < self.config.window_instructions:
+            return
+        self._window_instructions = 0
+        misses = self.mmu.take_stlb_miss_events()
+        enable = misses > self.config.t1_misses
+        self.windows_total += 1
+        if enable:
+            self.windows_enabled += 1
+        if enable != self.xptp_policy.enabled:
+            self.switches += 1
+            self.xptp_policy.enabled = enable
+
+    def reset_stats(self) -> None:
+        """Clear window counters (warmup/measurement boundary)."""
+        self.switches = 0
+        self.windows_enabled = 0
+        self.windows_total = 0

@@ -1,0 +1,78 @@
+"""System wiring: build the full simulated machine from a SystemConfig.
+
+Topology (Table 1): L1I and L1D feed a unified L2C, which feeds a private
+LLC, which feeds DRAM.  The page-table walker issues its PTE reads to the
+L2C; the MMU sits in front of everything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..cache.cache import SetAssociativeCache
+from ..cache.prefetch import make_prefetcher
+from ..common.params import SystemConfig
+from ..common.stats import SimStats
+from ..common.types import PageSize
+from ..mem.dram import DRAM
+from ..ptw.page_table import PageTable
+from ..ptw.walker import PageTableWalker
+from ..replacement.registry import make_cache_policy
+from ..replacement.xptp import XPTPPolicy
+from ..tlb.hierarchy import MMU
+from .adaptive import AdaptiveXPTPController
+
+SizePolicy = Callable[[int], PageSize]
+
+
+class System:
+    """The full memory system shared by one core (or two SMT threads)."""
+
+    def __init__(self, config: SystemConfig, size_policy: Optional[SizePolicy] = None) -> None:
+        self.config = config
+        self.stats = SimStats()
+
+        self.dram = DRAM(config.dram, self.stats.level("DRAM"))
+        self.llc = SetAssociativeCache(
+            config.llc,
+            make_cache_policy(config.llc_policy, config.llc.num_sets, config.llc.associativity),
+            self.dram,
+            self.stats.level("LLC"),
+            make_prefetcher(config.llc.prefetcher),
+        )
+        self.l2c = SetAssociativeCache(
+            config.l2c,
+            make_cache_policy(
+                config.l2c_policy, config.l2c.num_sets, config.l2c.associativity,
+                xptp_k=config.xptp.k,
+            ),
+            self.llc,
+            self.stats.level("L2C"),
+            make_prefetcher(config.l2c.prefetcher),
+        )
+        self.l1i = SetAssociativeCache(
+            config.l1i,
+            make_cache_policy("lru", config.l1i.num_sets, config.l1i.associativity),
+            self.l2c,
+            self.stats.level("L1I"),
+            make_prefetcher(config.l1i.prefetcher),
+        )
+        self.l1d = SetAssociativeCache(
+            config.l1d,
+            make_cache_policy("lru", config.l1d.num_sets, config.l1d.associativity),
+            self.l2c,
+            self.stats.level("L1D"),
+            make_prefetcher(config.l1d.prefetcher),
+        )
+
+        self.page_table = PageTable(size_policy)
+        self.walker = PageTableWalker(self.page_table, config.psc, self.l2c, self.stats)
+        self.mmu = MMU(config, self.walker, self.stats)
+
+        xptp = self.l2c.policy if isinstance(self.l2c.policy, XPTPPolicy) else None
+        self.adaptive = AdaptiveXPTPController(config.adaptive, self.mmu, xptp)
+
+    @property
+    def xptp_policy(self) -> Optional[XPTPPolicy]:
+        policy = self.l2c.policy
+        return policy if isinstance(policy, XPTPPolicy) else None

@@ -1,0 +1,66 @@
+"""Experiment drivers: one module per paper figure plus ablations.
+
+Run everything from the command line::
+
+    python -m repro.experiments            # all figures (slow)
+    python -m repro.experiments fig08      # one figure
+
+or call each module's ``run()`` from Python.  Benchmarks under
+``benchmarks/`` wrap the same drivers.
+"""
+
+from . import (
+    ablation_adaptive,
+    ablation_params,
+    ext_stlb_prefetch,
+    fig01_itlb_cost,
+    fig02_stlb_impki,
+    fig03_probabilistic,
+    fig04_mpki_breakdown,
+    fig08_main_comparison,
+    fig09_mpki_latency,
+    fig10_stlb_breakdown,
+    fig11_llc_sensitivity,
+    fig12_itlb_sensitivity,
+    fig13_large_pages,
+    fig14_split_stlb,
+)
+from .reporting import FigureResult, format_figure, format_table
+from .runner import (
+    MEASURE,
+    POLICY_MATRIX,
+    WARMUP,
+    Comparison,
+    compare_single_thread,
+    compare_smt,
+    config_for,
+    geomean,
+)
+
+__all__ = [
+    "Comparison",
+    "FigureResult",
+    "MEASURE",
+    "POLICY_MATRIX",
+    "WARMUP",
+    "ablation_adaptive",
+    "ablation_params",
+    "ext_stlb_prefetch",
+    "compare_single_thread",
+    "compare_smt",
+    "config_for",
+    "fig01_itlb_cost",
+    "fig02_stlb_impki",
+    "fig03_probabilistic",
+    "fig04_mpki_breakdown",
+    "fig08_main_comparison",
+    "fig09_mpki_latency",
+    "fig10_stlb_breakdown",
+    "fig11_llc_sensitivity",
+    "fig12_itlb_sensitivity",
+    "fig13_large_pages",
+    "fig14_split_stlb",
+    "format_figure",
+    "format_table",
+    "geomean",
+]

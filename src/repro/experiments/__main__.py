@@ -1,0 +1,96 @@
+"""CLI entry point: ``python -m repro.experiments [--csv-dir DIR] [figure ...]``.
+
+Figure names: fig01, fig02, fig03, fig04, fig08, fig09, fig10, fig11,
+fig12, fig13, fig14, ablation_params, ablation_adaptive,
+ext_stlb_prefetch, or ``all``.  With ``--csv-dir DIR`` each reproduced
+figure is also written to ``DIR/<figure>.csv``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import (
+    ablation_adaptive,
+    ablation_params,
+    ext_stlb_prefetch,
+    fig01_itlb_cost,
+    fig02_stlb_impki,
+    fig03_probabilistic,
+    fig04_mpki_breakdown,
+    fig08_main_comparison,
+    fig09_mpki_latency,
+    fig10_stlb_breakdown,
+    fig11_llc_sensitivity,
+    fig12_itlb_sensitivity,
+    fig13_large_pages,
+    fig14_split_stlb,
+)
+from .export import write_csv
+from .reporting import format_figure
+
+
+def _results(value):
+    """Normalise run() return types to a list of FigureResult."""
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+RUNNERS = {
+    "fig01": fig01_itlb_cost.run,
+    "fig02": fig02_stlb_impki.run,
+    "fig03": fig03_probabilistic.run,
+    "fig04": fig04_mpki_breakdown.run,
+    "fig08": fig08_main_comparison.run,
+    "fig09": fig09_mpki_latency.run,
+    "fig10": fig10_stlb_breakdown.run,
+    "fig11": fig11_llc_sensitivity.run,
+    "fig12": fig12_itlb_sensitivity.run,
+    "fig13": fig13_large_pages.run,
+    "fig14": fig14_split_stlb.run,
+    "ablation_params": lambda: [ablation_params.run_nm(), ablation_params.run_k()],
+    "ablation_adaptive": ablation_adaptive.run,
+    "ext_stlb_prefetch": ext_stlb_prefetch.run,
+}
+
+
+def main(argv) -> int:
+    argv = list(argv)
+    csv_dir = None
+    if "--csv-dir" in argv:
+        index = argv.index("--csv-dir")
+        try:
+            csv_dir = argv[index + 1]
+        except IndexError:
+            print("--csv-dir needs a directory argument", file=sys.stderr)
+            return 2
+        del argv[index:index + 2]
+    names = argv or ["all"]
+    if names == ["all"]:
+        names = list(RUNNERS)
+    unknown = [n for n in names if n not in RUNNERS]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(RUNNERS)} or 'all'", file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.time()
+        for figure in _results(RUNNERS[name]()):
+            print(format_figure(figure))
+            print()
+            if csv_dir is not None:
+                path = write_csv(figure, csv_dir)
+                print(f"[wrote {path}]")
+        print(f"[{name}: {time.time() - start:.0f}s]\n")
+    return 0
+
+
+def cli() -> None:
+    """Console-script entry point (``repro-experiments``)."""
+    raise SystemExit(main(sys.argv[1:]))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,62 @@
+"""Result export: CSV and JSON.
+
+The paper's artifact parses experiment output into CSV files
+(``scripts/parse_data.sh``); this module is the equivalent for our
+figure drivers.  ``python -m repro.experiments --csv-dir out/ figXX``
+writes one CSV per reproduced figure.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from .reporting import FigureResult
+
+
+def _slug(name: str) -> str:
+    return "".join(c.lower() if c.isalnum() else "_" for c in name).strip("_")
+
+
+def write_csv(result: FigureResult, directory: Union[str, Path]) -> Path:
+    """Write one figure's rows to ``<directory>/<figure>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{_slug(result.figure)}.csv"
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+    return path
+
+
+def write_json(results: Iterable[FigureResult], path: Union[str, Path]) -> Path:
+    """Write several figures' results to one JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [
+        {
+            "figure": r.figure,
+            "description": r.description,
+            "headers": r.headers,
+            "rows": r.rows,
+            "notes": r.notes,
+        }
+        for r in results
+    ]
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def read_csv(path: Union[str, Path]) -> FigureResult:
+    """Round-trip helper: load a CSV written by :func:`write_csv`."""
+    path = Path(path)
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        headers = next(reader)
+        result = FigureResult(figure=path.stem, description="", headers=headers)
+        for row in reader:
+            result.add_row(*row)
+    return result

@@ -1,0 +1,66 @@
+"""Plain-text reporting for experiment results.
+
+Each figure driver returns a :class:`FigureResult`; ``format_figure``
+renders it as the rows/series the paper's figure reports, suitable both
+for terminal output and for pasting into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class FigureResult:
+    """Structured output of one figure/table reproduction."""
+
+    figure: str
+    description: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"{self.figure}: row width {len(values)} != headers {len(self.headers)}"
+            )
+        self.rows.append(list(values))
+
+    def column(self, header: str) -> List[object]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "-" * len(line)
+    body = "\n".join(
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)) for row in cells
+    )
+    return f"{line}\n{rule}\n{body}" if body else f"{line}\n{rule}"
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render a full figure report."""
+    parts = [f"== {result.figure}: {result.description}"]
+    parts.append(format_table(result.headers, result.rows))
+    for note in result.notes:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)

@@ -1,0 +1,129 @@
+"""Shared experiment machinery.
+
+Encodes Table 2 (the policy matrix) and provides comparison helpers used
+by every figure driver.  All experiments run on the 1/4-scale system of
+:func:`repro.common.params.scaled_config` against the scaled workload
+suites (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..common.params import SystemConfig, scaled_config
+from ..core.simulator import SimulationResult, simulate, simulate_smt
+from ..workloads.base import SyntheticWorkload
+from ..workloads.mixes import SMTMix
+
+#: Default simulation windows (instructions).  The paper uses 50 M + 100 M;
+#: these are scaled for Python speed (DESIGN.md §3).
+WARMUP = 60_000
+MEASURE = 200_000
+
+#: Table 2 of the paper: technique -> replacement policy per structure.
+#: Structures not listed use LRU.
+POLICY_MATRIX: "OrderedDict[str, Dict[str, str]]" = OrderedDict(
+    [
+        ("lru", {}),
+        ("tdrrip", {"l2c": "tdrrip"}),
+        ("ptp", {"l2c": "ptp"}),
+        ("chirp", {"stlb": "chirp"}),
+        ("chirp+tdrrip", {"stlb": "chirp", "l2c": "tdrrip"}),
+        ("chirp+ptp", {"stlb": "chirp", "l2c": "ptp"}),
+        ("itp", {"stlb": "itp"}),
+        ("itp+tdrrip", {"stlb": "itp", "l2c": "tdrrip"}),
+        ("itp+ptp", {"stlb": "itp", "l2c": "ptp"}),
+        ("itp+xptp", {"stlb": "itp", "l2c": "xptp"}),
+    ]
+)
+
+
+def config_for(technique: str, base: Optional[SystemConfig] = None) -> SystemConfig:
+    """System configuration for a Table 2 technique name."""
+    try:
+        policies = POLICY_MATRIX[technique]
+    except KeyError:
+        raise ValueError(
+            f"unknown technique {technique!r}; known: {', '.join(POLICY_MATRIX)}"
+        ) from None
+    base = base or scaled_config()
+    return base.with_policies(**policies)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; empty input returns 0."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class Comparison:
+    """Results of running several techniques over a workload set."""
+
+    baseline: str
+    # technique -> workload name -> result
+    results: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def speedups(self, technique: str) -> List[float]:
+        """Per-workload IPC ratios vs the baseline technique."""
+        base = self.results[self.baseline]
+        return [
+            self.results[technique][w].ipc / base[w].ipc
+            for w in self.results[technique]
+            if base[w].ipc > 0
+        ]
+
+    def geomean_speedup(self, technique: str) -> float:
+        return geomean(self.speedups(technique))
+
+    def geomean_improvement_percent(self, technique: str) -> float:
+        return 100.0 * (self.geomean_speedup(technique) - 1.0)
+
+    def mean_metric(self, technique: str, metric: str) -> float:
+        rows = self.results[technique]
+        if not rows:
+            return 0.0
+        return sum(r.get(metric) for r in rows.values()) / len(rows)
+
+
+def compare_single_thread(
+    techniques: Sequence[str],
+    workloads: Sequence[SyntheticWorkload],
+    base: Optional[SystemConfig] = None,
+    warmup: int = WARMUP,
+    measure: int = MEASURE,
+    baseline: str = "lru",
+) -> Comparison:
+    """Run each technique over each workload on one hardware thread."""
+    comparison = Comparison(baseline=baseline)
+    for technique in techniques:
+        cfg = config_for(technique, base)
+        comparison.results[technique] = {
+            wl.name: simulate(cfg, wl, warmup, measure, config_label=technique)
+            for wl in workloads
+        }
+    return comparison
+
+
+def compare_smt(
+    techniques: Sequence[str],
+    mixes: Sequence[SMTMix],
+    base: Optional[SystemConfig] = None,
+    warmup: int = WARMUP,
+    measure: int = MEASURE,
+    baseline: str = "lru",
+) -> Comparison:
+    """Run each technique over each two-thread mix on the SMT core."""
+    comparison = Comparison(baseline=baseline)
+    for technique in techniques:
+        cfg = config_for(technique, base)
+        comparison.results[technique] = {
+            mix.name: simulate_smt(cfg, mix.workloads, warmup, measure, config_label=technique)
+            for mix in mixes
+        }
+    return comparison

@@ -1,0 +1,5 @@
+"""Main-memory substrate."""
+
+from .dram import DRAM
+
+__all__ = ["DRAM"]

@@ -1,0 +1,83 @@
+"""DRAM model.
+
+Table 1 gives tRP = tRCD = tCAS = 12 (DRAM cycles) at 12.8 GB/s.  We model
+a fixed access latency in CPU cycles plus a bandwidth-pressure term: the
+access rate of the *previous* kilo-instruction window (reported by the
+core via :meth:`note_instructions`) sets a bounded queueing delay for the
+current window.  Under SMT co-location the shared memory path therefore
+slows both threads, as in the paper's contended-structure methodology.
+"""
+
+from __future__ import annotations
+
+from ..common.params import DRAMConfig
+from ..common.stats import LevelStats, categorize
+from ..common.types import MemoryRequest, RequestType
+
+#: Accesses per kilo-instruction the channel absorbs with no queueing.
+_FREE_RATE = 40
+#: Queue delay is capped at this many multiples of ``contention_cycles``.
+_MAX_PRESSURE = 3
+
+
+class DRAM:
+    """Terminal level of the memory hierarchy."""
+
+    def __init__(self, config: DRAMConfig, stats: LevelStats) -> None:
+        self.config = config
+        self.stats = stats
+        self._window_accesses = 0
+        self._window_instructions = 0
+        self._queue_delay = 0
+        # Row-buffer state: open row per bank (None = precharged).
+        self._open_rows = [None] * max(1, config.banks)
+        self.row_hits = 0
+        self.row_misses = 0
+
+    def _row_buffer_latency(self, address: int) -> int:
+        cfg = self.config
+        row = address // cfg.row_bytes
+        bank = row % cfg.banks
+        ratio = cfg.clock_ratio
+        if self._open_rows[bank] == row:
+            self.row_hits += 1
+            dram_cycles = cfg.t_cas
+        else:
+            self.row_misses += 1
+            dram_cycles = cfg.t_rp + cfg.t_rcd + cfg.t_cas
+            self._open_rows[bank] = row
+        return cfg.bus_overhead + int(dram_cycles * ratio)
+
+    def access(self, req: MemoryRequest) -> int:
+        self.stats.accesses += 1
+        self._window_accesses += 1
+        category = categorize(req)
+        self.stats.category_accesses[category] = (
+            self.stats.category_accesses.get(category, 0) + 1
+        )
+        if req.req_type == RequestType.WRITEBACK:
+            # Writes are buffered; they consume bandwidth but add no demand
+            # latency.  Under the row-buffer model they still open their row.
+            if self.config.row_buffer:
+                self._row_buffer_latency(req.address)
+            return 0
+        if self.config.row_buffer:
+            return self._row_buffer_latency(req.address) + self._queue_delay
+        return self.config.latency + self._queue_delay
+
+    def note_instructions(self, count: int) -> None:
+        """Advance the bandwidth window by ``count`` committed instructions."""
+        self._window_instructions += count
+        if self._window_instructions < 1000:
+            return
+        rate = self._window_accesses * 1000 // max(1, self._window_instructions)
+        pressure = max(0, rate - _FREE_RATE) / _FREE_RATE
+        self._queue_delay = int(
+            self.config.contention_cycles * min(pressure, _MAX_PRESSURE)
+        )
+        self._window_accesses = 0
+        self._window_instructions = 0
+
+    @property
+    def queue_delay(self) -> int:
+        return self._queue_delay

@@ -1,0 +1,90 @@
+"""Hardware page-table walker with split page structure caches.
+
+On an STLB miss the walker resolves the translation by reading page-table
+entries through the cache hierarchy, starting at the L2C (ChampSim
+convention — "entries from all page table levels are stored in the cache
+hierarchy", Section 5.1).  Every PTE read is tagged ``is_pte`` with the
+instruction/data translation type, which is what xPTP's Type bit observes.
+
+Timing simplification (DESIGN.md §3): the paper's walker supports up to 4
+concurrent walks; this model charges walks sequentially, which is the
+conservative choice and does not change policy orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..common.params import PSCConfig
+from ..common.stats import SimStats
+from ..common.types import AccessType, MemoryRequest, PAGE_BITS, PageSize, RequestType
+from .page_table import PageTable, WalkPath
+from .psc import SplitPSC
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    latency: int
+    pfn: int
+    page_size: PageSize
+    memory_references: int
+
+
+class PageTableWalker:
+    """Walks the radix page table through the cache hierarchy."""
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        psc_config: PSCConfig,
+        memory_level,
+        stats: SimStats,
+    ) -> None:
+        self.page_table = page_table
+        self.psc = SplitPSC(psc_config)
+        self.psc_latency = psc_config.latency
+        self.memory_level = memory_level
+        self.stats = stats
+
+    def walk(
+        self,
+        vaddr: int,
+        translation_type: AccessType,
+        thread_id: int = 0,
+        prefetch: bool = False,
+    ) -> WalkResult:
+        vpn = vaddr >> PAGE_BITS
+        path: WalkPath = self.page_table.walk_path(vaddr)
+
+        latency = self.psc_latency
+        hit = self.psc.deepest_hit(vpn)
+        if hit is not None:
+            resume_level = hit[0] - 1  # PSCLk knows the level-(k-1) table
+            steps = [s for s in path.steps if s.level <= resume_level]
+            self.stats.bump(f"ptw.pscl{hit[0]}_hits")
+        else:
+            steps = list(path.steps)
+            self.stats.bump("ptw.psc_misses")
+
+        references = 0
+        for step in steps:
+            req = MemoryRequest(
+                address=step.entry_address,
+                req_type=RequestType.PTW,
+                is_pte=True,
+                translation_type=translation_type,
+                thread_id=thread_id,
+            )
+            latency += self.memory_level.access(req)
+            references += 1
+
+        # Refill the PSCs along the traversed path: reading the level-k
+        # entry reveals the level-(k-1) table frame.
+        for upper, lower in zip(path.steps, path.steps[1:]):
+            self.psc.fill(vpn, upper.level, lower.entry_address >> PAGE_BITS)
+
+        kind = "instr" if translation_type == AccessType.INSTRUCTION else "data"
+        prefix = "ptw.pf_" if prefetch else "ptw."
+        self.stats.bump(f"{prefix}{kind}_walks")
+        self.stats.bump(f"{prefix}{kind}_walk_cycles", latency)
+        self.stats.bump(f"{prefix}{kind}_walk_refs", references)
+        return WalkResult(latency, path.pfn, path.page_size, references)

@@ -1,0 +1,32 @@
+"""Cache replacement policies: baselines and the paper's xPTP."""
+
+from .base import CacheReplacementPolicy
+from .drrip import DRRIPPolicy
+from .lru import LRUPolicy
+from .mockingjay import MockingjayPolicy
+from .ptp import PTPPolicy
+from .random_policy import RandomPolicy
+from .registry import available_policies, make_cache_policy
+from .ship import SHiPPolicy
+from .srrip import RRPV_LONG, RRPV_MAX, SRRIPPolicy
+from .tdrrip import TDRRIPPolicy
+from .tship import TSHiPPolicy
+from .xptp import XPTPPolicy
+
+__all__ = [
+    "CacheReplacementPolicy",
+    "DRRIPPolicy",
+    "LRUPolicy",
+    "MockingjayPolicy",
+    "PTPPolicy",
+    "RRPV_LONG",
+    "RRPV_MAX",
+    "RandomPolicy",
+    "SHiPPolicy",
+    "SRRIPPolicy",
+    "TDRRIPPolicy",
+    "TSHiPPolicy",
+    "XPTPPolicy",
+    "available_policies",
+    "make_cache_policy",
+]

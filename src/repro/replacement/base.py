@@ -1,0 +1,55 @@
+"""Cache replacement policy interface.
+
+A policy owns whatever per-set/per-line metadata it needs; the cache calls
+into it on every fill, hit and eviction, and asks it for a victim way when a
+set is full.  Lines are :class:`repro.cache.line.CacheLine` objects, whose
+``rrpv``/``signature``/``outcome``/``eta`` fields are scratch space reserved
+for policies.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.line import CacheLine
+from ..common.types import MemoryRequest
+
+
+class CacheReplacementPolicy(abc.ABC):
+    """Replacement decisions for one set-associative cache."""
+
+    name: str = "base"
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        if num_sets <= 0 or associativity <= 0:
+            raise ValueError("num_sets and associativity must be positive")
+        self.num_sets = num_sets
+        self.associativity = associativity
+
+    @abc.abstractmethod
+    def victim(
+        self, set_index: int, lines: Sequence[CacheLine], req: MemoryRequest
+    ) -> int:
+        """Pick the way to evict from a full set."""
+
+    @abc.abstractmethod
+    def on_fill(
+        self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest
+    ) -> None:
+        """A new block was installed in ``way``."""
+
+    @abc.abstractmethod
+    def on_hit(
+        self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest
+    ) -> None:
+        """``way`` was hit by ``req``."""
+
+    def on_evict(self, set_index: int, way: int, lines: Sequence[CacheLine]) -> None:
+        """``way`` is being evicted (before the new fill).  Optional hook."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} sets={self.num_sets} ways={self.associativity}>"

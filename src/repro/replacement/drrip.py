@@ -1,0 +1,59 @@
+"""Dynamic RRIP (DRRIP) with set dueling [Jaleel et al., ISCA'10].
+
+A few leader sets always run SRRIP, a few always run BRRIP (bimodal: mostly
+distant insertion); a saturating PSEL counter picks the winner for the
+follower sets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.line import CacheLine
+from ..common.types import MemoryRequest
+from .srrip import RRPV_LONG, RRPV_MAX, SRRIPPolicy
+
+PSEL_BITS = 10
+PSEL_MAX = (1 << PSEL_BITS) - 1
+BRRIP_NEAR_PROBABILITY = 1 / 32
+
+
+class DRRIPPolicy(SRRIPPolicy):
+    name = "drrip"
+
+    def __init__(
+        self, num_sets: int, associativity: int, num_leader_sets: int = 32, seed: int = 0
+    ) -> None:
+        super().__init__(num_sets, associativity)
+        self._rng = random.Random(seed)
+        self.psel = PSEL_MAX // 2
+        num_leader_sets = min(num_leader_sets, max(1, num_sets // 2))
+        stride = max(1, num_sets // (2 * num_leader_sets))
+        self.srrip_leaders = set(range(0, num_sets, 2 * stride))
+        self.brrip_leaders = set(range(stride, num_sets, 2 * stride))
+
+    def _use_brrip(self, set_index: int) -> bool:
+        if set_index in self.srrip_leaders:
+            return False
+        if set_index in self.brrip_leaders:
+            return True
+        # High PSEL means SRRIP leaders missed more, so followers use BRRIP.
+        return self.psel > PSEL_MAX // 2
+
+    def record_miss(self, set_index: int) -> None:
+        """Set-dueling feedback; the cache calls this on every demand miss."""
+        if set_index in self.srrip_leaders and self.psel < PSEL_MAX:
+            self.psel += 1
+        elif set_index in self.brrip_leaders and self.psel > 0:
+            self.psel -= 1
+
+    def on_fill(self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest) -> None:
+        if self._use_brrip(set_index):
+            near = self._rng.random() < BRRIP_NEAR_PROBABILITY
+            lines[way].rrpv = RRPV_LONG if near else RRPV_MAX
+        else:
+            lines[way].rrpv = self.fill_rrpv(req)

@@ -1,0 +1,37 @@
+"""Least-recently-used replacement (the paper's baseline everywhere)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.line import CacheLine
+from ..common.recency import RecencyStack
+from ..common.types import MemoryRequest
+from .base import CacheReplacementPolicy
+
+
+class LRUPolicy(CacheReplacementPolicy):
+    """Classic LRU over a per-set recency stack."""
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self.stacks: List[RecencyStack] = [RecencyStack() for _ in range(num_sets)]
+
+    def victim(self, set_index: int, lines: Sequence[CacheLine], req: MemoryRequest) -> int:
+        return self.stacks[set_index].lru_way
+
+    def on_fill(self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest) -> None:
+        self.stacks[set_index].place_at_depth(way, 0)
+
+    def on_hit(self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest) -> None:
+        self.stacks[set_index].touch(way)
+
+    def on_evict(self, set_index: int, way: int, lines: Sequence[CacheLine]) -> None:
+        stack = self.stacks[set_index]
+        if way in stack:
+            stack.remove(way)

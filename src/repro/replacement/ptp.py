@@ -1,0 +1,48 @@
+"""Page Table Prioritization (PTP) [Park et al., ASPLOS'22].
+
+PTP makes page walks cache hits by dedicating part of the L2 cache to
+page-table blocks: PTE-holding lines are protected from eviction as long
+as they occupy no more than a reserved share of the set's ways (modelling
+the paper's PT-dedicated L2 capacity).  Within budget, the victim search
+skips PTE blocks; once a set holds more PTE blocks than the budget, they
+compete under plain LRU again.
+
+Two properties distinguish it from xPTP (Section 2.2 of the reproduced
+paper): PTP does **not** distinguish data PTEs from instruction PTEs, and
+its protection is a fixed capacity carve-out rather than xPTP's
+recency-conditioned ALT-victim filter (Figure 6) — PTP neither adapts to
+STLB pressure nor cooperates with the STLB replacement policy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.line import CacheLine
+from ..common.types import MemoryRequest
+from .lru import LRUPolicy
+
+#: Fraction of each set's ways reserved for PTE blocks.
+RESERVED_FRACTION = 0.375
+
+
+class PTPPolicy(LRUPolicy):
+    name = "ptp"
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self.reserved_ways = max(1, int(associativity * RESERVED_FRACTION))
+
+    def victim(self, set_index: int, lines: Sequence[CacheLine], req: MemoryRequest) -> int:
+        stack = self.stacks[set_index]
+        pte_blocks = sum(1 for line in lines if line.valid and line.is_pte)
+        if pte_blocks > self.reserved_ways:
+            # Over budget: PTE blocks compete under plain LRU.
+            return stack.lru_way
+        for way in stack.ways_from_lru():
+            if not lines[way].is_pte:
+                return way
+        return stack.lru_way

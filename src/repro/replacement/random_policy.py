@@ -1,0 +1,32 @@
+"""Random replacement (vendor first-level-TLB style; useful control baseline)."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.line import CacheLine
+from ..common.types import MemoryRequest
+from .base import CacheReplacementPolicy
+
+
+class RandomPolicy(CacheReplacementPolicy):
+    """Uniformly random victim selection with a seeded, deterministic RNG."""
+
+    name = "random"
+
+    def __init__(self, num_sets: int, associativity: int, seed: int = 0) -> None:
+        super().__init__(num_sets, associativity)
+        self._rng = random.Random(seed)
+
+    def victim(self, set_index: int, lines: Sequence[CacheLine], req: MemoryRequest) -> int:
+        return self._rng.randrange(self.associativity)
+
+    def on_fill(self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest) -> None:
+        pass
+
+    def on_hit(self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest) -> None:
+        pass

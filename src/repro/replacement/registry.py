@@ -1,0 +1,49 @@
+"""Factory for cache replacement policies by name (Table 2 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import CacheReplacementPolicy
+from .drrip import DRRIPPolicy
+from .lru import LRUPolicy
+from .mockingjay import MockingjayPolicy
+from .ptp import PTPPolicy
+from .random_policy import RandomPolicy
+from .ship import SHiPPolicy
+from .srrip import SRRIPPolicy
+from .tdrrip import TDRRIPPolicy
+from .tship import TSHiPPolicy
+from .xptp import XPTPPolicy
+
+_FACTORIES: Dict[str, Callable[..., CacheReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "random": RandomPolicy,
+    "srrip": SRRIPPolicy,
+    "drrip": DRRIPPolicy,
+    "tdrrip": TDRRIPPolicy,
+    "ptp": PTPPolicy,
+    "xptp": XPTPPolicy,
+    "ship": SHiPPolicy,
+    "tship": TSHiPPolicy,
+    "mockingjay": MockingjayPolicy,
+}
+
+
+def available_policies() -> tuple:
+    return tuple(sorted(_FACTORIES))
+
+
+def make_cache_policy(
+    name: str, num_sets: int, associativity: int, *, xptp_k: int = 8
+) -> CacheReplacementPolicy:
+    """Instantiate a cache replacement policy by its registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache policy {name!r}; available: {', '.join(available_policies())}"
+        ) from None
+    if name == "xptp":
+        return factory(num_sets, associativity, k=xptp_k)
+    return factory(num_sets, associativity)

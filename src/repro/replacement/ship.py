@@ -1,0 +1,56 @@
+"""SHiP-PC: Signature-based Hit Predictor [Wu et al., MICRO'11].
+
+SRRIP augmented with a Signature History Counter Table (SHCT) indexed by a
+hash of the requesting PC.  Each line remembers its signature and whether it
+was re-referenced; on eviction without reuse the signature's counter is
+decremented, on reuse it is incremented.  Fills whose signature has a zero
+counter are predicted dead-on-arrival and inserted distant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.line import CacheLine
+from ..common.types import MemoryRequest
+from .srrip import RRPV_LONG, RRPV_MAX, SRRIPPolicy
+
+SHCT_ENTRIES = 16384
+SHCT_MAX = 7  # 3-bit saturating counters
+
+
+def pc_signature(req: MemoryRequest) -> int:
+    """Hash the requesting PC (or address for PC-less requests) into the SHCT."""
+    key = req.pc if req.pc else req.address >> 12
+    return (key ^ (key >> 14) ^ (key >> 28)) % SHCT_ENTRIES
+
+
+class SHiPPolicy(SRRIPPolicy):
+    name = "ship"
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self.shct = [SHCT_MAX // 2] * SHCT_ENTRIES
+
+    def on_fill(self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest) -> None:
+        sig = pc_signature(req)
+        line = lines[way]
+        line.signature = sig
+        line.outcome = False
+        line.rrpv = RRPV_MAX if self.shct[sig] == 0 else RRPV_LONG
+
+    def on_hit(self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest) -> None:
+        line = lines[way]
+        line.rrpv = 0
+        if not line.outcome:
+            line.outcome = True
+            if self.shct[line.signature] < SHCT_MAX:
+                self.shct[line.signature] += 1
+
+    def on_evict(self, set_index: int, way: int, lines: Sequence[CacheLine]) -> None:
+        line = lines[way]
+        if line.valid and not line.outcome and self.shct[line.signature] > 0:
+            self.shct[line.signature] -= 1

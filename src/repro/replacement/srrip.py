@@ -1,0 +1,44 @@
+"""Static Re-Reference Interval Prediction (SRRIP) [Jaleel et al., ISCA'10].
+
+Each line carries a 2-bit re-reference prediction value (RRPV).  Fills
+insert with a *long* interval (RRPV = max-1), hits promote to *near*
+(RRPV = 0) and victims are lines predicted *distant* (RRPV = max), aging
+the whole set until one is found.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.line import CacheLine
+from ..common.types import MemoryRequest
+from .base import CacheReplacementPolicy
+
+RRPV_BITS = 2
+RRPV_MAX = (1 << RRPV_BITS) - 1
+RRPV_LONG = RRPV_MAX - 1
+
+
+class SRRIPPolicy(CacheReplacementPolicy):
+    name = "srrip"
+
+    def victim(self, set_index: int, lines: Sequence[CacheLine], req: MemoryRequest) -> int:
+        while True:
+            for way, line in enumerate(lines):
+                if line.rrpv >= RRPV_MAX:
+                    return way
+            for line in lines:
+                line.rrpv += 1
+
+    def on_fill(self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest) -> None:
+        lines[way].rrpv = self.fill_rrpv(req)
+
+    def on_hit(self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest) -> None:
+        lines[way].rrpv = 0
+
+    def fill_rrpv(self, req: MemoryRequest) -> int:
+        """Insertion RRPV; subclasses (DRRIP/TDRRIP/SHiP) override this."""
+        return RRPV_LONG

@@ -1,0 +1,39 @@
+"""T-DRRIP: translation-aware DRRIP [Vasudha & Panda, ISPASS'22].
+
+Two translation-aware modifications over DRRIP (Section 2.2 of the paper):
+
+* cache blocks holding page-table entries are inserted with *near*
+  re-reference (RRPV = 0), prioritising their retention;
+* blocks brought in by demand accesses whose translation missed in the
+  STLB are inserted *distant* (RRPV = max), favouring their eviction.
+
+T-DRRIP does **not** distinguish instruction PTEs from data PTEs — the
+limitation iTP+xPTP addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.line import CacheLine
+from ..common.types import MemoryRequest, RequestType
+from .drrip import DRRIPPolicy
+from .srrip import RRPV_MAX
+
+
+class TDRRIPPolicy(DRRIPPolicy):
+    name = "tdrrip"
+
+    def on_fill(self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest) -> None:
+        if req.is_pte:
+            lines[way].rrpv = 0
+            return
+        if req.stlb_miss and req.req_type in (RequestType.LOAD, RequestType.STORE):
+            # Only *demand loads/stores* behind an STLB miss are victimised;
+            # instruction fetches are not part of the published rule.
+            lines[way].rrpv = RRPV_MAX
+            return
+        super().on_fill(set_index, way, lines, req)

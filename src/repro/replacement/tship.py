@@ -1,0 +1,40 @@
+"""T-SHiP: translation-aware SHiP [Vasudha & Panda, ISPASS'22].
+
+The companion of T-DRRIP in the "address translation conscious caching"
+proposal: SHiP's signature-driven insertion, with two translation-aware
+overrides — blocks holding PTEs are inserted with *near* re-reference
+(RRPV = 0), and demand blocks whose translation missed in the STLB are
+inserted *distant*.  Type-oblivious with respect to instruction vs data
+PTEs, like T-DRRIP.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.line import CacheLine
+from ..common.types import MemoryRequest, RequestType
+from .ship import SHiPPolicy, pc_signature
+from .srrip import RRPV_MAX
+
+
+class TSHiPPolicy(SHiPPolicy):
+    name = "tship"
+
+    def on_fill(self, set_index: int, way: int, lines: Sequence[CacheLine], req: MemoryRequest) -> None:
+        if req.is_pte:
+            line = lines[way]
+            line.signature = pc_signature(req)
+            line.outcome = False
+            line.rrpv = 0
+            return
+        if req.stlb_miss and req.req_type in (RequestType.LOAD, RequestType.STORE):
+            line = lines[way]
+            line.signature = pc_signature(req)
+            line.outcome = False
+            line.rrpv = RRPV_MAX
+            return
+        super().on_fill(set_index, way, lines, req)

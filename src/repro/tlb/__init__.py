@@ -1,0 +1,28 @@
+"""TLB subsystem: entries, set-associative TLBs, policies, MMU hierarchy."""
+
+from .entry import TLBEntry
+from .hierarchy import MMU, TranslationResult
+from .policies import (
+    CHiRPPolicy,
+    ITPPolicy,
+    ProbabilisticLRUPolicy,
+    TLBLRUPolicy,
+    TLBReplacementPolicy,
+    available_tlb_policies,
+    make_tlb_policy,
+)
+from .tlb import TLB
+
+__all__ = [
+    "CHiRPPolicy",
+    "ITPPolicy",
+    "MMU",
+    "ProbabilisticLRUPolicy",
+    "TLB",
+    "TLBEntry",
+    "TLBLRUPolicy",
+    "TLBReplacementPolicy",
+    "TranslationResult",
+    "available_tlb_policies",
+    "make_tlb_policy",
+]

@@ -1,0 +1,34 @@
+"""TLB entry metadata.
+
+Per Section 4.1.3, iTP adds two fields to every STLB entry: a 1-bit ``Type``
+(instruction vs data translation) and a 3-bit ``Freq`` saturating counter.
+Both live here; policies that do not use them simply ignore them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..common.types import AccessType, PageSize
+
+
+@dataclass
+class TLBEntry:
+    valid: bool = False
+    key: int = 0                 # (vpn, page-size) lookup key, set by the TLB
+    vpn: int = 0
+    pfn: int = 0
+    page_size: PageSize = PageSize.SIZE_4K
+    access_type: AccessType = AccessType.DATA   # iTP's Type bit
+    freq: int = 0                                # iTP's Freq counter
+    # CHiRP scratch state
+    signature: int = 0
+    reused: bool = False
+
+    @property
+    def is_instruction(self) -> bool:
+        return self.access_type == AccessType.INSTRUCTION
+
+    def invalidate(self) -> None:
+        self.valid = False
+        self.freq = 0
+        self.reused = False

@@ -1,0 +1,192 @@
+"""MMU: the full translation hierarchy of Figure 7.
+
+``translate`` walks ITLB/DTLB → STLB → page-table walker, charging the
+latencies of Table 1.  First-level TLB hits are free (their 1-cycle latency
+is pipelined into the base CPI); an STLB access charges the STLB latency; an
+STLB miss additionally charges the full page walk.
+
+The STLB MSHR Type bit of Figure 7 (step 2/4) is modelled with an
+:class:`MSHRFile`: the miss allocates an entry annotated with the
+translation type, and the insertion at walk completion reads the type back
+from the MSHR — exactly the dataflow iTP requires.
+
+Split-STLB designs (Section 6.6) instantiate two structures and route by
+access type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cache.mshr import MSHRFile
+from ..common.params import SystemConfig
+from ..common.stats import SimStats
+from ..common.types import AccessType, PAGE_BITS, PageSize, RequestType
+from ..ptw.walker import PageTableWalker
+from .policies.chirp import CHiRPPolicy
+from .policies.registry import make_tlb_policy
+from .prefetch import make_stlb_prefetcher
+from .tlb import TLB
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Outcome of one address translation."""
+
+    pfn: int
+    latency: int          # cycles beyond a first-level TLB hit
+    stlb_accessed: bool
+    stlb_miss: bool
+    page_size: PageSize
+
+
+class MMU:
+    """ITLB + DTLB + (unified or split) STLB + hardware walker."""
+
+    def __init__(self, config: SystemConfig, walker: PageTableWalker, stats: SimStats) -> None:
+        self.config = config
+        self.walker = walker
+        self.stats = stats
+
+        self.itlb = TLB(
+            config.itlb,
+            make_tlb_policy("lru", config.itlb.num_sets, config.itlb.associativity),
+            stats.level("ITLB"),
+        )
+        self.dtlb = TLB(
+            config.dtlb,
+            make_tlb_policy("lru", config.dtlb.num_sets, config.dtlb.associativity),
+            stats.level("DTLB"),
+        )
+
+        self.split = config.istlb is not None
+        if self.split:
+            self.stlb_data = TLB(
+                config.stlb,
+                make_tlb_policy(
+                    config.stlb_policy, config.stlb.num_sets, config.stlb.associativity,
+                    itp_config=config.itp, p_evict_data=config.problru_p,
+                ),
+                stats.level("STLB"),
+            )
+            self.stlb_instr = TLB(
+                config.istlb,
+                make_tlb_policy(
+                    config.stlb_policy, config.istlb.num_sets, config.istlb.associativity,
+                    itp_config=config.itp, p_evict_data=config.problru_p,
+                ),
+                stats.level("STLB"),
+            )
+        else:
+            self.stlb = TLB(
+                config.stlb,
+                make_tlb_policy(
+                    config.stlb_policy, config.stlb.num_sets, config.stlb.associativity,
+                    itp_config=config.itp, p_evict_data=config.problru_p,
+                ),
+                stats.level("STLB"),
+            )
+        self.stlb_mshrs = MSHRFile(config.stlb.mshr_entries)
+        self.prefetcher = make_stlb_prefetcher(config.stlb_prefetcher)
+        #: STLB misses since the adaptive controller last sampled (Section 4.3.1).
+        self.stlb_miss_events = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _stlb_for(self, access_type: AccessType) -> TLB:
+        if not self.split:
+            return self.stlb
+        return (
+            self.stlb_instr if access_type == AccessType.INSTRUCTION else self.stlb_data
+        )
+
+    def translate(
+        self, vaddr: int, access_type: AccessType, thread_id: int = 0
+    ) -> TranslationResult:
+        is_instr = access_type == AccessType.INSTRUCTION
+        l1 = self.itlb if is_instr else self.dtlb
+        stlb = self._stlb_for(access_type)
+
+        if is_instr and isinstance(stlb.policy, CHiRPPolicy):
+            stlb.policy.observe_fetch_page(vaddr >> PAGE_BITS)
+
+        entry = l1.lookup(vaddr, access_type)
+        if entry is not None:
+            return TranslationResult(
+                self._entry_pfn(entry, vaddr), 0, False, False, entry.page_size
+            )
+
+        latency = self.config.stlb.latency
+        entry = stlb.lookup(vaddr, access_type)
+        if entry is not None:
+            l1.insert(vaddr, entry.pfn, entry.page_size, access_type)
+            l1.record_miss(access_type, self.config.stlb.latency)
+            self._account_translation(access_type, latency)
+            return TranslationResult(
+                self._entry_pfn(entry, vaddr), latency, True, False, entry.page_size
+            )
+
+        # STLB miss: allocate the typed MSHR entry (Figure 7, step 2) and walk.
+        vpn = vaddr >> PAGE_BITS
+        self.stlb_mshrs.allocate(vpn, RequestType.PTW, is_pte=True, translation_type=access_type)
+        walk = self.walker.walk(vaddr, access_type, thread_id)
+        latency += walk.latency
+        mshr_entry = self.stlb_mshrs.release(vpn)
+        insert_type = (
+            mshr_entry.translation_type if mshr_entry is not None else access_type
+        )
+
+        # TLB entries for 2 MB pages store the base pfn of the whole page so a
+        # later hit at any offset composes the right frame (walk.pfn reports
+        # the covering 4 KB frame of this particular vaddr).
+        stored_pfn = walk.pfn
+        if walk.page_size is PageSize.SIZE_2M:
+            stored_pfn -= (vaddr >> PAGE_BITS) & 0x1FF
+        stlb.insert(vaddr, stored_pfn, walk.page_size, insert_type)
+        stlb.record_miss(access_type, walk.latency)
+        l1.insert(vaddr, stored_pfn, walk.page_size, access_type)
+        l1.record_miss(access_type, latency)
+        self.stlb_miss_events += 1
+        self._account_translation(access_type, latency)
+        if self.prefetcher is not None:
+            self._stlb_prefetch(vpn, access_type, thread_id)
+        return TranslationResult(walk.pfn, latency, True, True, walk.page_size)
+
+    def _stlb_prefetch(self, miss_vpn: int, access_type: AccessType, thread_id: int) -> None:
+        """Section 7 extension: translation prefetching into the STLB.
+
+        Prefetch walks go through the cache hierarchy (real bandwidth) but
+        add no latency to the demand miss.  Prefetched entries are inserted
+        through the STLB's normal insertion policy, so iTP treats them like
+        any other translation of their type.
+        """
+        stlb = self._stlb_for(access_type)
+        for vpn in self.prefetcher.on_stlb_miss(miss_vpn, access_type):
+            if vpn < 0:
+                continue
+            vaddr = vpn << PAGE_BITS
+            if stlb.probe(vaddr):
+                continue
+            walk = self.walker.walk(vaddr, access_type, thread_id, prefetch=True)
+            stored_pfn = walk.pfn
+            if walk.page_size is PageSize.SIZE_2M:
+                stored_pfn -= vpn & 0x1FF
+            stlb.insert(vaddr, stored_pfn, walk.page_size, access_type)
+            self.stats.bump("stlb.prefetch_fills")
+
+    @staticmethod
+    def _entry_pfn(entry, vaddr: int) -> int:
+        """Covering 4 KB frame for ``vaddr`` given a (possibly 2 MB) entry."""
+        if entry.page_size is PageSize.SIZE_2M:
+            return entry.pfn + ((vaddr >> PAGE_BITS) & 0x1FF)
+        return entry.pfn
+
+    def _account_translation(self, access_type: AccessType, latency: int) -> None:
+        kind = "instr" if access_type == AccessType.INSTRUCTION else "data"
+        self.stats.bump(f"translation.{kind}_cycles", latency)
+
+    def take_stlb_miss_events(self) -> int:
+        """Read-and-reset the window miss counter for the adaptive switch."""
+        events = self.stlb_miss_events
+        self.stlb_miss_events = 0
+        return events

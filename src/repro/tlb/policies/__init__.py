@@ -1,0 +1,18 @@
+"""STLB replacement policies: LRU, probabilistic LRU, iTP, CHiRP."""
+
+from .base import TLBReplacementPolicy
+from .chirp import CHiRPPolicy
+from .itp import ITPPolicy
+from .lru import TLBLRUPolicy
+from .probabilistic import ProbabilisticLRUPolicy
+from .registry import available_tlb_policies, make_tlb_policy
+
+__all__ = [
+    "CHiRPPolicy",
+    "ITPPolicy",
+    "ProbabilisticLRUPolicy",
+    "TLBLRUPolicy",
+    "TLBReplacementPolicy",
+    "available_tlb_policies",
+    "make_tlb_policy",
+]

@@ -1,0 +1,48 @@
+"""TLB replacement policy interface.
+
+TLB policies differ from cache policies in that insertion and promotion
+decisions may depend on the *translation type* (instruction vs data) — the
+distinction iTP introduces and LRU/CHiRP ignore.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from ...common.types import AccessType
+from ..entry import TLBEntry
+
+
+class TLBReplacementPolicy(abc.ABC):
+    """Replacement decisions for one set-associative TLB."""
+
+    name: str = "base"
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        if num_sets <= 0 or associativity <= 0:
+            raise ValueError("num_sets and associativity must be positive")
+        self.num_sets = num_sets
+        self.associativity = associativity
+
+    @abc.abstractmethod
+    def victim(self, set_index: int, entries: Sequence[TLBEntry]) -> int:
+        """Pick the way to evict from a full set."""
+
+    @abc.abstractmethod
+    def on_insert(
+        self, set_index: int, way: int, entries: Sequence[TLBEntry], access_type: AccessType
+    ) -> None:
+        """A translation of ``access_type`` was installed in ``way``."""
+
+    @abc.abstractmethod
+    def on_hit(
+        self, set_index: int, way: int, entries: Sequence[TLBEntry], access_type: AccessType
+    ) -> None:
+        """``way`` produced a hit for an access of ``access_type``."""
+
+    def on_evict(self, set_index: int, way: int, entries: Sequence[TLBEntry]) -> None:
+        """``way`` is being evicted.  Optional hook."""
+
+    def on_miss(self, set_index: int, vaddr: int, access_type: AccessType) -> None:
+        """A lookup missed (CHiRP trains its predictor here).  Optional hook."""

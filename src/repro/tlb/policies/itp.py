@@ -1,0 +1,68 @@
+"""Instruction Translation Prioritization (iTP) — Section 4.1, Figure 5.
+
+iTP keeps the LRU eviction rule (evict the entry at ``LRUpos``) but makes
+insertion and promotion type-aware:
+
+Insertion (end of page walk):
+  * data translation  → insert at ``LRUpos``            (step 1)
+  * instruction       → insert at ``MRUpos - N``        (step 2),
+    with the 3-bit ``Freq`` counter reset to 0          (step 3);
+  * every other entry shifts one position toward LRU    (step 4).
+
+Promotion (STLB hit):
+  * instruction, Freq not saturated → move to ``MRUpos - N``   (i)
+  * instruction, Freq saturated     → move to ``MRUpos``       (ii)
+  * increment Freq if not saturated                            (iii)
+  * data → move to ``LRUpos + M``                              (iv)
+
+``MRUpos`` is reserved for instruction translations whose Freq counter has
+saturated, i.e. entries proven to be frequently re-referenced.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...common.params import ITPConfig
+from ...common.types import AccessType
+from ..entry import TLBEntry
+from .lru import TLBLRUPolicy
+
+
+class ITPPolicy(TLBLRUPolicy):
+    name = "itp"
+
+    def __init__(
+        self, num_sets: int, associativity: int, config: ITPConfig = ITPConfig()
+    ) -> None:
+        super().__init__(num_sets, associativity)
+        if not 0 <= config.insert_depth_n < associativity:
+            raise ValueError("N must be in [0, associativity)")
+        if not config.insert_depth_n < config.data_promote_m < associativity:
+            raise ValueError("M must satisfy N < M < associativity")
+        self.config = config
+
+    def on_insert(
+        self, set_index: int, way: int, entries: Sequence[TLBEntry], access_type: AccessType
+    ) -> None:
+        stack = self.stacks[set_index]
+        if access_type == AccessType.INSTRUCTION:
+            entries[way].freq = 0
+            stack.place_at_depth(way, self.config.insert_depth_n)
+        else:
+            # Highest eviction priority for fresh data translations.
+            stack.place_above_lru(way, 0)
+
+    def on_hit(
+        self, set_index: int, way: int, entries: Sequence[TLBEntry], access_type: AccessType
+    ) -> None:
+        stack = self.stacks[set_index]
+        entry = entries[way]
+        if access_type == AccessType.INSTRUCTION:
+            if entry.freq >= self.config.freq_max:
+                stack.place_at_depth(way, 0)
+            else:
+                stack.place_at_depth(way, self.config.insert_depth_n)
+                entry.freq += 1
+        else:
+            stack.place_above_lru(way, self.config.data_promote_m)

@@ -1,0 +1,36 @@
+"""LRU TLB replacement — the vendor baseline (Section 2.3)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...common.recency import RecencyStack
+from ...common.types import AccessType
+from ..entry import TLBEntry
+from .base import TLBReplacementPolicy
+
+
+class TLBLRUPolicy(TLBReplacementPolicy):
+    name = "lru"
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self.stacks: List[RecencyStack] = [RecencyStack() for _ in range(num_sets)]
+
+    def victim(self, set_index: int, entries: Sequence[TLBEntry]) -> int:
+        return self.stacks[set_index].lru_way
+
+    def on_insert(
+        self, set_index: int, way: int, entries: Sequence[TLBEntry], access_type: AccessType
+    ) -> None:
+        self.stacks[set_index].place_at_depth(way, 0)
+
+    def on_hit(
+        self, set_index: int, way: int, entries: Sequence[TLBEntry], access_type: AccessType
+    ) -> None:
+        self.stacks[set_index].touch(way)
+
+    def on_evict(self, set_index: int, way: int, entries: Sequence[TLBEntry]) -> None:
+        stack = self.stacks[set_index]
+        if way in stack:
+            stack.remove(way)

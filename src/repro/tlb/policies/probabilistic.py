@@ -1,0 +1,41 @@
+"""Probabilistic instruction-priority LRU — the motivation policy of Fig. 3.
+
+A modified LRU whose *eviction* decision flips a biased coin: with
+probability ``P`` the least-recently-used **data** translation is evicted,
+otherwise the least-recently-used **instruction** translation.  If the set
+holds only one type, the LRU entry of that type is evicted regardless of
+the coin (exactly as Section 3.2 describes).  Insertion and promotion are
+plain LRU.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ...common.types import AccessType
+from ..entry import TLBEntry
+from .lru import TLBLRUPolicy
+
+
+class ProbabilisticLRUPolicy(TLBLRUPolicy):
+    name = "problru"
+
+    def __init__(
+        self, num_sets: int, associativity: int, p_evict_data: float = 0.8, seed: int = 1234
+    ) -> None:
+        super().__init__(num_sets, associativity)
+        if not 0.0 <= p_evict_data <= 1.0:
+            raise ValueError("P must be a probability")
+        self.p_evict_data = p_evict_data
+        self._rng = random.Random(seed)
+
+    def victim(self, set_index: int, entries: Sequence[TLBEntry]) -> int:
+        stack = self.stacks[set_index]
+        evict_data = self._rng.random() < self.p_evict_data
+        wanted = AccessType.DATA if evict_data else AccessType.INSTRUCTION
+        for way in stack.ways_from_lru():
+            if entries[way].access_type == wanted:
+                return way
+        # Only the other type present: evict its LRU entry.
+        return stack.lru_way

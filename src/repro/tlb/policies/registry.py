@@ -1,0 +1,43 @@
+"""Factory for STLB replacement policies by name."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...common.params import ITPConfig
+from .base import TLBReplacementPolicy
+from .chirp import CHiRPPolicy
+from .itp import ITPPolicy
+from .lru import TLBLRUPolicy
+from .probabilistic import ProbabilisticLRUPolicy
+
+_NAMES = ("lru", "itp", "chirp", "problru")
+
+
+def available_tlb_policies() -> tuple:
+    return _NAMES
+
+
+def make_tlb_policy(
+    name: str,
+    num_sets: int,
+    associativity: int,
+    *,
+    itp_config: Optional[ITPConfig] = None,
+    p_evict_data: float = 0.8,
+    seed: int = 1234,
+) -> TLBReplacementPolicy:
+    """Instantiate a TLB replacement policy by its registry name.
+
+    ``problru`` accepts ``p_evict_data`` (the ``P`` of Figure 3);
+    ``itp`` accepts an :class:`ITPConfig` (N, M, Freq width).
+    """
+    if name == "lru":
+        return TLBLRUPolicy(num_sets, associativity)
+    if name == "itp":
+        return ITPPolicy(num_sets, associativity, itp_config or ITPConfig())
+    if name == "chirp":
+        return CHiRPPolicy(num_sets, associativity)
+    if name == "problru":
+        return ProbabilisticLRUPolicy(num_sets, associativity, p_evict_data, seed)
+    raise ValueError(f"unknown TLB policy {name!r}; available: {', '.join(_NAMES)}")

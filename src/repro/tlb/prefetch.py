@@ -1,0 +1,100 @@
+"""STLB prefetching (extension).
+
+Section 7 of the paper notes that "iTP is orthogonal to STLB prefetching
+and could be extended to consider STLB prefetching in its decision-making".
+This module provides that extension: two classic translation prefetchers
+that run on STLB misses and install prefetched translations through the
+normal insertion path (so iTP's type-aware insertion applies to them too).
+
+* **sequential**: on a miss for virtual page ``v``, prefetch ``v+1``
+  (Kandiraju & Sivasubramaniam's next-page scheme).
+* **distance**: a small table keyed by the distance between successive
+  missing pages predicts the next distance (the core of distance
+  prefetching [36] and of Morrigan-style instruction TLB prefetchers [80]).
+
+Prefetch walks consume real memory-hierarchy bandwidth (their PTE reads go
+through the caches) but are off the demand path, so they add no latency to
+the triggering miss.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+from ..common.types import AccessType, PAGE_BITS
+
+
+class STLBPrefetcher(abc.ABC):
+    """Base class: observes STLB misses, returns virtual pages to prefetch."""
+
+    name = "base"
+
+    @abc.abstractmethod
+    def on_stlb_miss(self, vpn: int, access_type: AccessType) -> tuple:
+        """Virtual page numbers worth prefetching after a miss on ``vpn``."""
+
+
+class SequentialSTLBPrefetcher(STLBPrefetcher):
+    """Prefetch the next ``degree`` virtual pages after every STLB miss."""
+
+    name = "sequential"
+
+    def __init__(self, degree: int = 1) -> None:
+        if degree <= 0:
+            raise ValueError("degree must be positive")
+        self.degree = degree
+
+    def on_stlb_miss(self, vpn: int, access_type: AccessType) -> tuple:
+        return tuple(vpn + step for step in range(1, self.degree + 1))
+
+
+class DistanceSTLBPrefetcher(STLBPrefetcher):
+    """Distance prefetching: predict the next miss distance from the last.
+
+    Keeps separate last-miss state per translation type, since instruction
+    and data miss streams interleave but have independent structure.
+    """
+
+    name = "distance"
+
+    TABLE_ENTRIES = 1024
+
+    def __init__(self) -> None:
+        self._last_vpn: Dict[AccessType, Optional[int]] = {
+            AccessType.INSTRUCTION: None,
+            AccessType.DATA: None,
+        }
+        self._last_distance: Dict[AccessType, int] = {
+            AccessType.INSTRUCTION: 0,
+            AccessType.DATA: 0,
+        }
+        # distance -> predicted next distance
+        self.table: Dict[int, int] = {}
+
+    def on_stlb_miss(self, vpn: int, access_type: AccessType) -> tuple:
+        last_vpn = self._last_vpn[access_type]
+        self._last_vpn[access_type] = vpn
+        if last_vpn is None:
+            return ()
+        distance = vpn - last_vpn
+        previous = self._last_distance[access_type]
+        self._last_distance[access_type] = distance
+        if previous:
+            key = previous % self.TABLE_ENTRIES
+            self.table[key] = distance
+        predicted = self.table.get(distance % self.TABLE_ENTRIES)
+        if not predicted:
+            return ()
+        return (vpn + predicted,)
+
+
+def make_stlb_prefetcher(name: Optional[str]) -> Optional[STLBPrefetcher]:
+    """Instantiate an STLB prefetcher by name; ``None`` disables prefetching."""
+    if name is None:
+        return None
+    if name == "sequential":
+        return SequentialSTLBPrefetcher()
+    if name == "distance":
+        return DistanceSTLBPrefetcher()
+    raise ValueError(f"unknown STLB prefetcher {name!r}; available: sequential, distance")

@@ -1,0 +1,141 @@
+"""Set-associative TLB.
+
+Entries for 4 KB and 2 MB pages coexist (Section 6.5): the lookup key
+encodes the page size, and a lookup probes both sizes.  The replacement
+policy is pluggable (LRU, probabilistic LRU, iTP, CHiRP).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.params import TLBConfig
+from ..common.stats import LevelStats
+from ..common.types import AccessType, PAGE_BITS, PageSize
+from .entry import TLBEntry
+from .policies.base import TLBReplacementPolicy
+
+
+def _key(vpn: int, page_size: PageSize) -> int:
+    return (vpn << 1) | (1 if page_size is PageSize.SIZE_2M else 0)
+
+
+class TLB:
+    """One TLB level (ITLB, DTLB, STLB or one half of a split STLB)."""
+
+    def __init__(
+        self, config: TLBConfig, policy: TLBReplacementPolicy, stats: LevelStats
+    ) -> None:
+        if policy.num_sets != config.num_sets or policy.associativity != config.associativity:
+            raise ValueError(
+                f"{config.name}: policy geometry {policy.num_sets}x{policy.associativity} "
+                f"does not match TLB {config.num_sets}x{config.associativity}"
+            )
+        self.config = config
+        self.policy = policy
+        self.stats = stats
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self._set_mask = self.num_sets - 1
+        self.sets: List[List[TLBEntry]] = [
+            [TLBEntry() for _ in range(self.associativity)] for _ in range(self.num_sets)
+        ]
+        self._key_maps: List[dict] = [dict() for _ in range(self.num_sets)]
+
+    # ------------------------------------------------------------------ #
+
+    def _find(self, vaddr: int, page_size: PageSize) -> Optional[tuple]:
+        vpn = vaddr >> page_size.offset_bits
+        key = _key(vpn, page_size)
+        set_index = vpn & self._set_mask
+        way = self._key_maps[set_index].get(key)
+        if way is None:
+            return None
+        return set_index, way
+
+    def lookup(self, vaddr: int, access_type: AccessType) -> Optional[TLBEntry]:
+        """Look up ``vaddr``; on a hit the policy's promotion rule runs."""
+        category = "i" if access_type == AccessType.INSTRUCTION else "d"
+        for page_size in (PageSize.SIZE_4K, PageSize.SIZE_2M):
+            found = self._find(vaddr, page_size)
+            if found is not None:
+                set_index, way = found
+                entry = self.sets[set_index][way]
+                self.policy.on_hit(set_index, way, self.sets[set_index], access_type)
+                self.stats.record_access(category, hit=True)
+                return entry
+        set_index = (vaddr >> PAGE_BITS) & self._set_mask
+        self.policy.on_miss(set_index, vaddr, access_type)
+        # The caller records the miss with its resolved latency.
+        return None
+
+    def record_miss(self, access_type: AccessType, miss_latency: int) -> None:
+        category = "i" if access_type == AccessType.INSTRUCTION else "d"
+        self.stats.record_access(category, hit=False, miss_latency=miss_latency)
+
+    def insert(
+        self,
+        vaddr: int,
+        pfn: int,
+        page_size: PageSize,
+        access_type: AccessType,
+    ) -> TLBEntry:
+        """Install a translation (end of page walk / refill from STLB)."""
+        vpn = vaddr >> page_size.offset_bits
+        key = _key(vpn, page_size)
+        set_index = vpn & self._set_mask
+        key_map = self._key_maps[set_index]
+        entries = self.sets[set_index]
+
+        way = key_map.get(key)
+        if way is None:
+            way = self._find_invalid_way(entries)
+            if way is None:
+                way = self.policy.victim(set_index, entries)
+                self._evict(set_index, way)
+            key_map[key] = way
+        entry = entries[way]
+        entry.valid = True
+        entry.key = key
+        entry.vpn = vpn
+        entry.pfn = pfn
+        entry.page_size = page_size
+        entry.access_type = access_type
+        self.policy.on_insert(set_index, way, entries, access_type)
+        return entry
+
+    def _find_invalid_way(self, entries: List[TLBEntry]) -> Optional[int]:
+        for way, entry in enumerate(entries):
+            if not entry.valid:
+                return way
+        return None
+
+    def _evict(self, set_index: int, way: int) -> None:
+        entries = self.sets[set_index]
+        entry = entries[way]
+        if not entry.valid:
+            return
+        self.stats.evictions += 1
+        self.policy.on_evict(set_index, way, entries)
+        del self._key_maps[set_index][entry.key]
+        entry.invalidate()
+
+    # ------------------------------------------------------------------ #
+
+    def probe(self, vaddr: int) -> bool:
+        """Presence check without touching replacement state."""
+        return any(
+            self._find(vaddr, size) is not None
+            for size in (PageSize.SIZE_4K, PageSize.SIZE_2M)
+        )
+
+    def occupancy(self) -> int:
+        return sum(len(m) for m in self._key_maps)
+
+    def instruction_entries(self) -> int:
+        return sum(
+            1
+            for s in self.sets
+            for e in s
+            if e.valid and e.access_type == AccessType.INSTRUCTION
+        )

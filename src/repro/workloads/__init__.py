@@ -1,0 +1,31 @@
+"""Synthetic workload generators and trace I/O.
+
+These stand in for the Qualcomm Server (CVP-1/IPC-1) and SPEC CPU 2006/2017
+traces of the paper — see DESIGN.md §3 for the substitution rationale.
+"""
+
+from .base import CODE_BASE, DATA_BASE, LOCAL_BASE, SyntheticWorkload, region_is_large
+from .mixes import SMTMix, smt_mixes
+from .phased import PhasedWorkload
+from .server import ServerWorkload, server_suite
+from .speclike import SpecLikeWorkload, spec_suite
+from .trace_io import FileTraceWorkload, capture, read_trace, write_trace
+
+__all__ = [
+    "CODE_BASE",
+    "DATA_BASE",
+    "FileTraceWorkload",
+    "LOCAL_BASE",
+    "PhasedWorkload",
+    "SMTMix",
+    "ServerWorkload",
+    "SpecLikeWorkload",
+    "SyntheticWorkload",
+    "capture",
+    "read_trace",
+    "region_is_large",
+    "server_suite",
+    "smt_mixes",
+    "spec_suite",
+    "write_trace",
+]

@@ -1,0 +1,68 @@
+"""Batched deterministic random sources for trace generators.
+
+Drawing one NumPy random per record is slow; these helpers draw large
+batches and hand out values one at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BatchedUniform:
+    """Stream of U[0,1) floats drawn in batches."""
+
+    def __init__(self, rng: np.random.Generator, batch: int = 65536) -> None:
+        self._rng = rng
+        self._batch = batch
+        self._values = rng.random(batch)
+        self._pos = 0
+
+    def next(self) -> float:
+        if self._pos >= self._batch:
+            self._values = self._rng.random(self._batch)
+            self._pos = 0
+        value = self._values[self._pos]
+        self._pos += 1
+        return float(value)
+
+
+class BatchedChoice:
+    """Stream of weighted integer choices drawn in batches."""
+
+    def __init__(
+        self, rng: np.random.Generator, count: int, weights, batch: int = 16384
+    ) -> None:
+        self._rng = rng
+        self._count = count
+        self._weights = weights
+        self._batch = batch
+        self._values = rng.choice(count, size=batch, p=weights)
+        self._pos = 0
+
+    def next(self) -> int:
+        if self._pos >= self._batch:
+            self._values = self._rng.choice(self._count, size=self._batch, p=self._weights)
+            self._pos = 0
+        value = self._values[self._pos]
+        self._pos += 1
+        return int(value)
+
+
+class BatchedInts:
+    """Stream of uniform integers in [0, high)."""
+
+    def __init__(self, rng: np.random.Generator, high: int, batch: int = 65536) -> None:
+        self._rng = rng
+        self._high = high
+        self._batch = batch
+        self._values = rng.integers(0, high, size=batch)
+        self._pos = 0
+
+    def next(self) -> int:
+        if self._pos >= self._batch:
+            self._values = self._rng.integers(0, self._high, size=self._batch)
+            self._pos = 0
+        value = self._values[self._pos]
+        self._pos += 1
+        return int(value)

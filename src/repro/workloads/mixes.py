@@ -1,0 +1,81 @@
+"""SMT workload mixes (Section 5.2).
+
+The paper builds 75 two-thread pairs in three categories:
+
+* **Intense**: two workloads with high STLB MPKI (> 1.5 each);
+* **Medium**: one high- plus one medium-pressure workload;
+* **Relaxed**: one high- plus one low-pressure workload.
+
+Pressure here is controlled by construction (footprint sizes) rather than
+measured post-hoc, which keeps the categories deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .base import SyntheticWorkload
+from .server import ServerWorkload
+from .speclike import SpecLikeWorkload
+
+
+@dataclass(frozen=True)
+class SMTMix:
+    name: str
+    category: str
+    thread0: SyntheticWorkload
+    thread1: SyntheticWorkload
+
+    @property
+    def workloads(self) -> Tuple[SyntheticWorkload, SyntheticWorkload]:
+        return (self.thread0, self.thread1)
+
+
+def _high(seed: int, large_page_percent: int = 0) -> ServerWorkload:
+    return ServerWorkload(
+        f"hi_{seed}", seed, code_pages=704, data_pages=18000, warm_pages=5200,
+        warm_fraction=0.07, large_page_percent=large_page_percent,
+    )
+
+
+def _medium(seed: int, large_page_percent: int = 0) -> ServerWorkload:
+    return ServerWorkload(
+        f"md_{seed}", seed, code_pages=320, data_pages=8000, warm_pages=2000,
+        warm_fraction=0.04, large_page_percent=large_page_percent,
+    )
+
+
+def _low(seed: int, large_page_percent: int = 0) -> SpecLikeWorkload:
+    return SpecLikeWorkload(
+        f"lo_{seed}", seed, code_pages=4, data_pages=1500, hot_data_pages=96,
+        large_page_percent=large_page_percent,
+    )
+
+
+def smt_mixes(
+    per_category: int = 3, *, base_seed: int = 900, large_page_percent: int = 0
+) -> List[SMTMix]:
+    """Build the three mix categories; stands in for the paper's 75 pairs."""
+    mixes: List[SMTMix] = []
+    for i in range(per_category):
+        s = base_seed + 10 * i
+        mixes.append(
+            SMTMix(
+                f"intense_{i}", "intense",
+                _high(s, large_page_percent), _high(s + 1, large_page_percent),
+            )
+        )
+        mixes.append(
+            SMTMix(
+                f"medium_{i}", "medium",
+                _high(s + 2, large_page_percent), _medium(s + 3, large_page_percent),
+            )
+        )
+        mixes.append(
+            SMTMix(
+                f"relaxed_{i}", "relaxed",
+                _high(s + 4, large_page_percent), _low(s + 5, large_page_percent),
+            )
+        )
+    return mixes

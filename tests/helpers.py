@@ -1,0 +1,72 @@
+"""Shared test fixtures: tiny caches, stub memory levels, request builders."""
+
+from repro.cache.cache import SetAssociativeCache
+from repro.common.params import CacheConfig
+from repro.common.stats import LevelStats
+from repro.common.types import AccessType, MemoryRequest, RequestType
+from repro.replacement.registry import make_cache_policy
+
+
+class StubMemory:
+    """Terminal level with fixed latency; records every request."""
+
+    def __init__(self, latency=100):
+        self.latency = latency
+        self.requests = []
+
+    def access(self, req):
+        self.requests.append(req)
+        if req.req_type == RequestType.WRITEBACK:
+            return 0
+        return self.latency
+
+
+def make_cache(
+    sets=4,
+    assoc=4,
+    latency=5,
+    policy="lru",
+    mshrs=8,
+    next_level=None,
+    prefetcher=None,
+    name="TEST",
+):
+    config = CacheConfig(
+        name,
+        size_bytes=sets * assoc * 64,
+        associativity=assoc,
+        latency=latency,
+        mshr_entries=mshrs,
+    )
+    next_level = next_level if next_level is not None else StubMemory()
+    cache = SetAssociativeCache(
+        config,
+        make_cache_policy(policy, config.num_sets, config.associativity),
+        next_level,
+        LevelStats(name),
+        prefetcher,
+    )
+    return cache, next_level
+
+
+def load(addr, pc=0, stlb_miss=False):
+    return MemoryRequest(address=addr, req_type=RequestType.LOAD, pc=pc, stlb_miss=stlb_miss)
+
+
+def store(addr, pc=0):
+    return MemoryRequest(address=addr, req_type=RequestType.STORE, pc=pc)
+
+
+def ifetch(addr, pc=0):
+    return MemoryRequest(address=addr, req_type=RequestType.IFETCH, pc=pc or addr)
+
+
+def ptw(addr, ttype=AccessType.DATA):
+    return MemoryRequest(
+        address=addr, req_type=RequestType.PTW, is_pte=True, translation_type=ttype
+    )
+
+
+def line_addr(set_index, tag, num_sets):
+    """Byte address of the line with the given set and tag."""
+    return ((tag * num_sets) + set_index) << 6

@@ -1,0 +1,177 @@
+"""Unit tests for the set-associative cache level."""
+
+import pytest
+
+from repro.common.types import AccessType, MemoryRequest, RequestType
+
+from .helpers import StubMemory, ifetch, line_addr, load, make_cache, ptw, store
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache, mem = make_cache(latency=5)
+        assert cache.access(load(0x1000)) == 5 + 100
+        assert cache.access(load(0x1000)) == 5
+        assert len(mem.requests) == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache, _ = make_cache()
+        cache.access(load(0x1000))
+        assert cache.access(load(0x1030)) == cache.config.latency
+
+    def test_stats_demand_counts(self):
+        cache, _ = make_cache()
+        cache.access(load(0x1000))
+        cache.access(load(0x1000))
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_category_stats(self):
+        cache, _ = make_cache()
+        cache.access(ifetch(0x2000))
+        cache.access(ptw(0x3000, AccessType.DATA))
+        assert cache.stats.category_misses == {"i": 1, "dt": 1}
+
+    def test_probe_does_not_mutate(self):
+        cache, _ = make_cache()
+        assert not cache.probe(0x1000)
+        cache.access(load(0x1000))
+        assert cache.probe(0x1000)
+        assert cache.stats.accesses == 1
+
+
+class TestEviction:
+    def test_fills_invalid_ways_first(self):
+        cache, _ = make_cache(sets=2, assoc=2)
+        cache.access(load(line_addr(0, 0, 2)))
+        cache.access(load(line_addr(0, 1, 2)))
+        assert cache.stats.evictions == 0
+        assert cache.occupancy() == 2
+
+    def test_lru_eviction_on_full_set(self):
+        cache, _ = make_cache(sets=2, assoc=2)
+        for tag in range(3):
+            cache.access(load(line_addr(0, tag, 2)))
+        assert cache.stats.evictions == 1
+        assert not cache.probe(line_addr(0, 0, 2))
+        assert cache.probe(line_addr(0, 1, 2))
+        assert cache.probe(line_addr(0, 2, 2))
+
+    def test_hit_refreshes_lru(self):
+        cache, _ = make_cache(sets=2, assoc=2)
+        cache.access(load(line_addr(0, 0, 2)))
+        cache.access(load(line_addr(0, 1, 2)))
+        cache.access(load(line_addr(0, 0, 2)))  # tag0 now MRU
+        cache.access(load(line_addr(0, 2, 2)))  # evicts tag1
+        assert cache.probe(line_addr(0, 0, 2))
+        assert not cache.probe(line_addr(0, 1, 2))
+
+
+class TestWriteback:
+    def test_dirty_eviction_writes_back(self):
+        cache, mem = make_cache(sets=1, assoc=2)
+        cache.access(store(line_addr(0, 0, 1)))
+        cache.access(load(line_addr(0, 1, 1)))
+        cache.access(load(line_addr(0, 2, 1)))  # evicts dirty tag0
+        wbs = [r for r in mem.requests if r.req_type == RequestType.WRITEBACK]
+        assert len(wbs) == 1
+        assert wbs[0].address == line_addr(0, 0, 1)
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache, mem = make_cache(sets=1, assoc=2)
+        cache.access(load(line_addr(0, 0, 1)))
+        cache.access(load(line_addr(0, 1, 1)))
+        cache.access(load(line_addr(0, 2, 1)))
+        assert not any(r.req_type == RequestType.WRITEBACK for r in mem.requests)
+
+    def test_absorbs_writeback_from_above(self):
+        cache, _ = make_cache()
+        wb = MemoryRequest(address=0x4000, req_type=RequestType.WRITEBACK)
+        assert cache.access(wb) == 0
+        assert cache.probe(0x4000)
+        set_index = (0x4000 >> 6) & (cache.num_sets - 1)
+        way = cache._tag_maps[set_index][(0x4000 >> 6) // cache.num_sets]
+        assert cache.sets[set_index][way].dirty
+
+    def test_writeback_hit_marks_dirty(self):
+        cache, _ = make_cache()
+        cache.access(load(0x4000))
+        cache.access(MemoryRequest(address=0x4000, req_type=RequestType.WRITEBACK))
+        set_index = (0x4000 >> 6) & (cache.num_sets - 1)
+        way = cache._tag_maps[set_index][(0x4000 >> 6) // cache.num_sets]
+        assert cache.sets[set_index][way].dirty
+
+
+class TestTypeBits:
+    """Figure 7: the PTE Type bit travels through the MSHR into the block."""
+
+    def test_ptw_fill_sets_type(self):
+        cache, _ = make_cache()
+        cache.access(ptw(0x5000, AccessType.DATA))
+        assert cache.data_pte_blocks() == 1
+
+    def test_instr_pte_not_counted_as_data(self):
+        cache, _ = make_cache()
+        cache.access(ptw(0x5000, AccessType.INSTRUCTION))
+        assert cache.data_pte_blocks() == 0
+
+    def test_hit_strengthens_type(self):
+        cache, _ = make_cache()
+        cache.access(load(0x5000))
+        assert cache.data_pte_blocks() == 0
+        cache.access(ptw(0x5000, AccessType.DATA))
+        assert cache.data_pte_blocks() == 1
+
+    def test_data_dominates_instruction_on_strengthen(self):
+        cache, _ = make_cache()
+        cache.access(ptw(0x5000, AccessType.INSTRUCTION))
+        cache.access(ptw(0x5000, AccessType.DATA))
+        assert cache.data_pte_blocks() == 1
+
+
+class TestPrefetchPath:
+    def test_prefetch_fills_this_level(self):
+        cache, mem = make_cache()
+        cache.prefetch(0x6000 >> 6)
+        assert cache.probe(0x6000)
+        assert cache.stats.prefetch_fills == 1
+        assert cache.stats.accesses == 0  # off the demand path
+
+    def test_prefetch_through_does_not_allocate_below(self):
+        lower, mem = make_cache(sets=8, assoc=4, name="L2")
+        upper, _ = make_cache(sets=4, assoc=2, next_level=lower, name="L1")
+        upper.prefetch(0x6000 >> 6)
+        assert upper.probe(0x6000)
+        assert not lower.probe(0x6000)
+        assert lower.stats.prefetch_requests == 1
+        assert lower.stats.misses == 0
+
+    def test_prefetched_line_demand_hit_counts_once(self):
+        cache, _ = make_cache()
+        cache.prefetch(0x6000 >> 6)
+        cache.access(load(0x6000))
+        assert cache.stats.prefetch_hits == 1
+        cache.access(load(0x6000))
+        assert cache.stats.prefetch_hits == 1
+
+    def test_duplicate_prefetch_is_noop(self):
+        cache, mem = make_cache()
+        cache.prefetch(0x6000 >> 6)
+        cache.prefetch(0x6000 >> 6)
+        assert cache.stats.prefetch_fills == 1
+        assert len(mem.requests) == 1
+
+
+class TestGeometryValidation:
+    def test_policy_geometry_mismatch_rejected(self):
+        from repro.cache.cache import SetAssociativeCache
+        from repro.common.params import CacheConfig
+        from repro.common.stats import LevelStats
+        from repro.replacement.registry import make_cache_policy
+
+        config = CacheConfig("X", size_bytes=4 * 4 * 64, associativity=4, latency=1, mshr_entries=4)
+        bad_policy = make_cache_policy("lru", 8, 4)
+        with pytest.raises(ValueError, match="geometry"):
+            SetAssociativeCache(config, bad_policy, StubMemory(), LevelStats("X"))

@@ -1,0 +1,89 @@
+"""Deeper cache tests: multi-level writeback flows, MSHR pressure, stats."""
+
+from repro.common.types import AccessType, MemoryRequest, RequestType
+
+from .helpers import StubMemory, line_addr, load, make_cache, ptw, store
+
+
+def two_level(upper_sets=2, upper_assoc=2, lower_sets=8, lower_assoc=4):
+    lower, mem = make_cache(sets=lower_sets, assoc=lower_assoc, name="L2")
+    upper, _ = make_cache(sets=upper_sets, assoc=upper_assoc, next_level=lower, name="L1")
+    return upper, lower, mem
+
+
+class TestMultiLevelWriteback:
+    def test_dirty_line_lands_in_lower_level(self):
+        upper, lower, _ = two_level()
+        victim = line_addr(0, 0, 2)
+        upper.access(store(victim))
+        upper.access(load(line_addr(0, 1, 2)))
+        upper.access(load(line_addr(0, 2, 2)))   # evict dirty victim
+        assert lower.probe(victim)
+
+    def test_writeback_preserves_pte_type(self):
+        # A dirty PTE block (A/D-bit style write) keeps its Type downstream.
+        upper, lower, _ = two_level()
+        addr = line_addr(0, 0, 2)
+        upper.access(ptw(addr, AccessType.DATA))
+        upper.access(store(addr))
+        upper.access(load(line_addr(0, 1, 2)))
+        upper.access(load(line_addr(0, 2, 2)))
+        assert lower.data_pte_blocks() >= 1
+
+    def test_writeback_chain_to_memory(self):
+        upper, lower, mem = two_level(lower_sets=1, lower_assoc=2)
+        # Fill the 2-entry lower set with dirty writebacks, then overflow it.
+        for tag in range(3):
+            addr = tag * 64  # set 0 of the single-set lower cache
+            upper.access(store(addr))
+            upper.access(load((tag + 10) * 2 * 64))
+            upper.access(load((tag + 20) * 2 * 64))
+        wb_to_mem = [r for r in mem.requests if r.req_type == RequestType.WRITEBACK]
+        assert wb_to_mem, "overflowing dirty lines must be written to memory"
+
+    def test_writeback_has_zero_demand_latency(self):
+        cache, _ = make_cache()
+        wb = MemoryRequest(address=0x40, req_type=RequestType.WRITEBACK)
+        assert cache.access(wb) == 0
+
+
+class TestMSHRPressure:
+    def test_structural_penalty_applied_when_full(self):
+        cache, _ = make_cache(sets=64, assoc=4, mshrs=1)
+        first = cache.access(load(0x0000))
+        # The MSHR still holds nothing between synchronous accesses, so
+        # allocate one manually to model an in-flight miss.
+        cache.mshrs.allocate(0x9999, RequestType.LOAD)
+        second = cache.access(load(0x2000))
+        assert second == first + cache.mshrs.full_penalty
+
+    def test_mshr_type_survives_interleaved_demand(self):
+        cache, _ = make_cache()
+        line = 0x7000
+        cache.mshrs.allocate(line >> 6, RequestType.LOAD)
+        # A PTW request to the same line merges and strengthens the type.
+        cache.access(ptw(line, AccessType.DATA))
+        assert cache.data_pte_blocks() == 1
+
+
+class TestEvictionStats:
+    def test_eviction_counter_matches_overflow(self):
+        cache, _ = make_cache(sets=1, assoc=4)
+        for tag in range(10):
+            cache.access(load(tag * 64))
+        assert cache.stats.evictions == 6
+        assert cache.occupancy() == 4
+
+    def test_prefetch_fill_can_evict(self):
+        cache, _ = make_cache(sets=1, assoc=2)
+        cache.access(load(0 * 64))
+        cache.access(load(1 * 64))
+        cache.prefetch(2)
+        assert cache.stats.evictions == 1
+        assert cache.occupancy() == 2
+
+    def test_occupancy_never_exceeds_capacity(self):
+        cache, _ = make_cache(sets=2, assoc=2)
+        for tag in range(20):
+            cache.access(load(line_addr(tag % 2, tag, 2)))
+            assert cache.occupancy() <= 4

@@ -1,0 +1,183 @@
+"""Unit tests for the DRAM model and the adaptive xPTP controller."""
+
+from repro.common.params import AdaptiveConfig, DRAMConfig, scaled_config
+from repro.common.stats import LevelStats, SimStats
+from repro.common.types import AccessType, MemoryRequest, RequestType
+from repro.core.adaptive import AdaptiveXPTPController
+from repro.mem.dram import DRAM
+from repro.ptw.page_table import PageTable
+from repro.ptw.walker import PageTableWalker
+from repro.replacement.xptp import XPTPPolicy
+from repro.tlb.hierarchy import MMU
+
+from .helpers import StubMemory, load
+
+
+class TestDRAM:
+    def make(self):
+        return DRAM(DRAMConfig(latency=100, contention_cycles=10), LevelStats("DRAM"))
+
+    def test_fixed_latency_when_idle(self):
+        dram = self.make()
+        assert dram.access(load(0)) == 100
+
+    def test_writeback_free_latency(self):
+        dram = self.make()
+        wb = MemoryRequest(address=0, req_type=RequestType.WRITEBACK)
+        assert dram.access(wb) == 0
+        assert dram.stats.accesses == 1
+
+    def test_queue_delay_after_busy_window(self):
+        dram = self.make()
+        for _ in range(200):  # 200 accesses in one kilo-instruction window
+            dram.access(load(0))
+        dram.note_instructions(1000)
+        assert dram.queue_delay > 0
+        assert dram.access(load(0)) == 100 + dram.queue_delay
+
+    def test_queue_delay_decays_when_quiet(self):
+        dram = self.make()
+        for _ in range(200):
+            dram.access(load(0))
+        dram.note_instructions(1000)
+        dram.note_instructions(1000)  # quiet window
+        assert dram.queue_delay == 0
+
+    def test_delay_capped(self):
+        dram = self.make()
+        for _ in range(100000):
+            dram.access(load(0))
+        dram.note_instructions(1000)
+        assert dram.queue_delay <= 10 * 3
+
+
+def make_controller(enabled=True, t1=1, window=1000):
+    config = scaled_config()
+    stats = SimStats()
+    walker = PageTableWalker(PageTable(), config.psc, StubMemory(), stats)
+    mmu = MMU(config, walker, stats)
+    xptp = XPTPPolicy(4, 4)
+    controller = AdaptiveXPTPController(
+        AdaptiveConfig(enabled=enabled, window_instructions=window, t1_misses=t1),
+        mmu, xptp,
+    )
+    return controller, mmu, xptp
+
+
+class TestAdaptiveController:
+    def test_starts_disabled(self):
+        controller, _, xptp = make_controller()
+        assert not xptp.enabled
+
+    def test_enables_under_pressure(self):
+        controller, mmu, xptp = make_controller(t1=1)
+        mmu.stlb_miss_events = 5
+        controller.on_instructions(1000)
+        assert xptp.enabled
+        assert controller.windows_enabled == 1
+        assert controller.switches == 1
+
+    def test_stays_lru_below_threshold(self):
+        controller, mmu, xptp = make_controller(t1=3)
+        mmu.stlb_miss_events = 2
+        controller.on_instructions(1000)
+        assert not xptp.enabled
+
+    def test_disables_when_pressure_drops(self):
+        controller, mmu, xptp = make_controller(t1=1)
+        mmu.stlb_miss_events = 5
+        controller.on_instructions(1000)
+        assert xptp.enabled
+        mmu.stlb_miss_events = 0
+        controller.on_instructions(1000)
+        assert not xptp.enabled
+        assert controller.switches == 2
+
+    def test_window_accumulates_partial_counts(self):
+        controller, mmu, xptp = make_controller(t1=1, window=1000)
+        mmu.stlb_miss_events = 5
+        controller.on_instructions(400)
+        controller.on_instructions(400)
+        assert not xptp.enabled  # window not yet closed
+        controller.on_instructions(400)
+        assert xptp.enabled
+
+    def test_inactive_without_xptp(self):
+        config = scaled_config()
+        stats = SimStats()
+        walker = PageTableWalker(PageTable(), config.psc, StubMemory(), stats)
+        mmu = MMU(config, walker, stats)
+        controller = AdaptiveXPTPController(AdaptiveConfig(), mmu, None)
+        assert not controller.active
+        controller.on_instructions(5000)  # no crash
+
+    def test_disabled_config_leaves_xptp_on(self):
+        controller, _, xptp = make_controller(enabled=False)
+        assert xptp.enabled  # always-on mode
+        assert not controller.active
+
+    def test_reset_stats(self):
+        controller, mmu, xptp = make_controller()
+        mmu.stlb_miss_events = 5
+        controller.on_instructions(1000)
+        controller.reset_stats()
+        assert controller.windows_total == 0
+        assert controller.switches == 0
+
+
+class TestRowBufferDRAM:
+    def make(self):
+        return DRAM(
+            DRAMConfig(row_buffer=True, banks=2, row_bytes=1024,
+                       t_rp=10, t_rcd=10, t_cas=10, clock_ratio=2.0,
+                       bus_overhead=20),
+            LevelStats("DRAM"),
+        )
+
+    def test_first_access_opens_row(self):
+        dram = self.make()
+        # closed row: 20 + (10+10+10)*2 = 80
+        assert dram.access(load(0)) == 80
+        assert dram.row_misses == 1
+
+    def test_same_row_hits(self):
+        dram = self.make()
+        dram.access(load(0))
+        # open row: 20 + 10*2 = 40
+        assert dram.access(load(512)) == 40
+        assert dram.row_hits == 1
+
+    def test_row_conflict_same_bank(self):
+        dram = self.make()
+        dram.access(load(0))          # row 0, bank 0
+        # row 2 also maps to bank 0 (2 % 2 == 0): conflict.
+        assert dram.access(load(2 * 1024)) == 80
+
+    def test_different_banks_independent(self):
+        dram = self.make()
+        dram.access(load(0))          # row 0 -> bank 0
+        dram.access(load(1024))       # row 1 -> bank 1
+        # Bank 0's row 0 is still open.
+        assert dram.access(load(64)) == 40
+
+    def test_writeback_opens_row_silently(self):
+        dram = self.make()
+        wb = MemoryRequest(address=0, req_type=RequestType.WRITEBACK)
+        assert dram.access(wb) == 0
+        assert dram.access(load(64)) == 40  # the row is open now
+
+    def test_flat_mode_unchanged(self):
+        dram = DRAM(DRAMConfig(latency=99), LevelStats("DRAM"))
+        assert dram.access(load(0)) == 99
+
+    def test_end_to_end_with_row_buffer(self):
+        from dataclasses import replace
+
+        from repro.core.simulator import simulate
+        from repro.workloads.server import ServerWorkload
+
+        cfg = replace(scaled_config(), dram=DRAMConfig(row_buffer=True))
+        wl = ServerWorkload("rb", 8, code_pages=96, data_pages=2500,
+                            hot_data_pages=64, warm_pages=600, local_pages=16)
+        result = simulate(cfg, wl, 10_000, 30_000)
+        assert result.ipc > 0

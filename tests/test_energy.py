@@ -1,0 +1,72 @@
+"""Unit tests for the energy accounting model."""
+
+import pytest
+
+from repro.common.energy import DEFAULT_ENERGY_PJ, EnergyModel, energy_report
+from repro.common.params import scaled_config
+from repro.common.stats import SimStats
+from repro.core.simulator import simulate
+from repro.workloads.server import ServerWorkload
+
+
+def stats_with(levels, counters=None, instructions=1000):
+    stats = SimStats()
+    stats.instructions = instructions
+    for name, accesses in levels.items():
+        lvl = stats.level(name)
+        lvl.accesses = accesses
+    stats.counters.update(counters or {})
+    return stats
+
+
+class TestEnergyModel:
+    def test_charges_per_access(self):
+        stats = stats_with({"L2C": 100})
+        report = energy_report(stats)
+        assert report.per_structure_pj["L2C"] == pytest.approx(100 * DEFAULT_ENERGY_PJ["L2C"])
+
+    def test_unknown_levels_ignored(self):
+        stats = stats_with({"WEIRD": 100})
+        report = energy_report(stats)
+        assert "WEIRD" not in report.per_structure_pj
+
+    def test_pj_per_instruction(self):
+        stats = stats_with({"L1D": 1000}, instructions=1000)
+        report = energy_report(stats)
+        assert report.pj_per_instruction == pytest.approx(DEFAULT_ENERGY_PJ["L1D"])
+
+    def test_custom_charges(self):
+        model = EnergyModel(energy_pj={"L1D": 2.0})
+        stats = stats_with({"L1D": 10, "L2C": 10})
+        report = model.report(stats)
+        assert report.total_pj == pytest.approx(20.0)  # L2C not in table -> skipped
+
+    def test_walk_share_accounts_tlbs_and_psc(self):
+        stats = stats_with(
+            {"STLB": 10, "L2C": 100},
+            counters={"ptw.data_walks": 5, "ptw.data_walk_refs": 10},
+        )
+        report = energy_report(stats)
+        assert report.walk_pj > 0
+        assert 0 < report.walk_share < 1
+
+    def test_zero_instruction_guard(self):
+        report = energy_report(stats_with({}, instructions=0))
+        assert report.pj_per_instruction == 0.0
+
+
+class TestEndToEnd:
+    def test_policies_change_translation_energy(self):
+        wl = ServerWorkload("e", 4, code_pages=96, data_pages=3000,
+                            hot_data_pages=96, warm_pages=800, local_pages=16)
+        base = simulate(scaled_config(), wl, 20_000, 60_000)
+        prop = simulate(
+            scaled_config().with_policies(stlb="itp", l2c="xptp"), wl, 20_000, 60_000
+        )
+        base_energy = energy_report(base.stats)
+        prop_energy = energy_report(prop.stats)
+        assert base_energy.total_pj > 0
+        assert prop_energy.walk_share > 0
+        # DRAM dominates; both runs land in the same order of magnitude.
+        ratio = prop_energy.pj_per_instruction / base_energy.pj_per_instruction
+        assert 0.5 < ratio < 1.5

@@ -1,0 +1,65 @@
+"""Golden regression tests.
+
+The simulator is deterministic end to end (seeded RNGs everywhere), so a
+fixed workload/config pair must reproduce the same headline metrics on
+every run.  These tests freeze a small scenario's outputs with loose
+tolerances (±10 %) — wide enough to survive intentional model retuning
+only if it is *declared* by updating the constants here, and tight enough
+to catch accidental behavioural drift in the substrate.
+"""
+
+import pytest
+
+from repro.common.params import TABLE1, scaled_config
+from repro.core.simulator import simulate
+from repro.workloads.server import ServerWorkload
+
+GOLDEN_WORKLOAD = dict(
+    code_pages=128, data_pages=4000, hot_data_pages=96, warm_pages=1200,
+    local_pages=32, seed=2024,
+)
+
+
+@pytest.fixture(scope="module")
+def golden_run():
+    wl = ServerWorkload("golden", **GOLDEN_WORKLOAD)
+    return simulate(scaled_config(), wl, 30_000, 100_000)
+
+
+class TestGoldenMetrics:
+    def test_ipc(self, golden_run):
+        assert golden_run.ipc == pytest.approx(0.747, rel=0.10)
+
+    def test_stlb_mpki(self, golden_run):
+        assert golden_run.get("stlb.mpki") == pytest.approx(7.7, rel=0.15)
+
+    def test_instruction_share(self, golden_run):
+        impki = golden_run.get("stlb.impki")
+        dmpki = golden_run.get("stlb.dmpki")
+        assert 0.1 < impki / dmpki < 0.8
+
+    def test_llc_mpki_band(self, golden_run):
+        assert 5.0 < golden_run.get("llc.mpki") < 40.0
+
+    def test_exact_repeatability(self, golden_run):
+        wl = ServerWorkload("golden", **GOLDEN_WORKLOAD)
+        again = simulate(scaled_config(), wl, 30_000, 100_000)
+        assert again.metrics == golden_run.metrics
+
+
+class TestFullScaleTable1:
+    """The unscaled Table 1 system must also run (short smoke)."""
+
+    def test_table1_smoke(self):
+        wl = ServerWorkload("full", seed=5)
+        result = simulate(TABLE1, wl, 5_000, 20_000)
+        assert result.ipc > 0
+        # At full scale the structures dwarf the (scaled) workload, so the
+        # system is much faster than the scaled golden run.
+        assert result.get("stlb.mpki") < 25.0
+
+    def test_table1_with_itp_xptp(self):
+        wl = ServerWorkload("full", seed=5)
+        cfg = TABLE1.with_policies(stlb="itp", l2c="xptp")
+        result = simulate(cfg, wl, 5_000, 20_000)
+        assert result.ipc > 0

@@ -1,0 +1,130 @@
+"""Integration tests: the paper's qualitative claims on small simulations.
+
+These run short end-to-end simulations (tens of thousands of instructions)
+and assert the *directional* findings the paper reports.
+"""
+
+import pytest
+
+from repro.common.params import scaled_config
+from repro.core.simulator import simulate, simulate_smt
+from repro.workloads.server import ServerWorkload
+from repro.workloads.speclike import SpecLikeWorkload
+
+WARMUP = 40_000
+MEASURE = 100_000
+
+
+@pytest.fixture(scope="module")
+def server_results():
+    """Run the key techniques once and share across tests."""
+    wl = ServerWorkload("it", seed=11)
+    base = scaled_config()
+    configs = {
+        "lru": base,
+        "itp": base.with_policies(stlb="itp"),
+        "itp+xptp": base.with_policies(stlb="itp", l2c="xptp"),
+        "chirp": base.with_policies(stlb="chirp"),
+    }
+    return {
+        name: simulate(cfg, wl, WARMUP, MEASURE, config_label=name)
+        for name, cfg in configs.items()
+    }
+
+
+class TestFinding1:
+    """Large code footprints amplify translation overheads (Section 3.1)."""
+
+    def test_server_has_instruction_stlb_misses_spec_does_not(self):
+        cfg = scaled_config()
+        server = simulate(cfg, ServerWorkload("s", 1), WARMUP, MEASURE)
+        spec = simulate(cfg, SpecLikeWorkload("p", 1), WARMUP, MEASURE)
+        assert server.get("stlb.impki") > 1.0
+        assert spec.get("stlb.impki") < 0.05
+
+    def test_server_spends_cycles_on_instruction_translation(self):
+        cfg = scaled_config()
+        server = simulate(cfg, ServerWorkload("s", 1), WARMUP, MEASURE)
+        spec = simulate(cfg, SpecLikeWorkload("p", 1), WARMUP, MEASURE)
+        server_pct = server.get("translation.instr_cycles") / server.get("cycles")
+        spec_pct = spec.get("translation.instr_cycles") / spec.get("cycles")
+        assert server_pct > 10 * max(spec_pct, 1e-9)
+
+
+class TestFinding2:
+    """Prioritising instructions in the STLB helps big-code workloads."""
+
+    def test_itp_beats_lru_on_server(self, server_results):
+        assert server_results["itp"].ipc > server_results["lru"].ipc
+
+    def test_itp_cuts_instruction_mpki(self, server_results):
+        assert (
+            server_results["itp"].get("stlb.impki")
+            < 0.8 * server_results["lru"].get("stlb.impki")
+        )
+
+    def test_itp_raises_data_mpki(self, server_results):
+        # The deliberate trade of Figure 10.
+        assert (
+            server_results["itp"].get("stlb.dmpki")
+            > server_results["lru"].get("stlb.dmpki")
+        )
+
+    def test_itp_neutral_on_spec(self):
+        base = scaled_config()
+        wl = SpecLikeWorkload("p", 2)
+        lru = simulate(base, wl, WARMUP, MEASURE)
+        itp = simulate(base.with_policies(stlb="itp"), wl, WARMUP, MEASURE)
+        assert itp.ipc == pytest.approx(lru.ipc, rel=0.02)
+
+
+class TestFinding3AndXPTP:
+    """iTP increases data page-walk cache pressure; xPTP absorbs it."""
+
+    def test_xptp_cuts_data_pte_l2c_misses(self, server_results):
+        assert (
+            server_results["itp+xptp"].get("l2c.dtmpki")
+            < 0.75 * server_results["itp"].get("l2c.dtmpki")
+        )
+
+    def test_xptp_cuts_stlb_miss_latency(self, server_results):
+        assert (
+            server_results["itp+xptp"].get("stlb.avg_miss_latency")
+            < server_results["itp"].get("stlb.avg_miss_latency")
+        )
+
+    def test_combination_beats_itp_alone(self, server_results):
+        assert server_results["itp+xptp"].ipc > server_results["itp"].ipc
+
+    def test_combination_beats_lru(self, server_results):
+        # The headline: iTP+xPTP clearly outperforms the LRU baseline.
+        assert server_results["itp+xptp"].ipc > 1.02 * server_results["lru"].ipc
+
+
+class TestCHiRPBehaviour:
+    def test_chirp_close_to_lru(self, server_results):
+        # Section 6.1: CHiRP achieves almost the same performance as LRU.
+        ratio = server_results["chirp"].ipc / server_results["lru"].ipc
+        assert 0.97 < ratio < 1.06
+
+
+class TestSMT:
+    def test_itp_xptp_helps_under_colocation(self):
+        base = scaled_config()
+        pair = [ServerWorkload("a", 21), ServerWorkload("b", 22)]
+        lru = simulate_smt(base, pair, WARMUP, MEASURE)
+        prop = simulate_smt(
+            base.with_policies(stlb="itp", l2c="xptp"), pair, WARMUP, MEASURE
+        )
+        assert prop.ipc > lru.ipc
+
+
+class TestLargePages:
+    def test_full_2mb_coverage_kills_stlb_misses(self):
+        base = scaled_config()
+        wl0 = ServerWorkload("a", 31, large_page_percent=0)
+        wl100 = ServerWorkload("a", 31, large_page_percent=100)
+        r0 = simulate(base, wl0, WARMUP, MEASURE)
+        r100 = simulate(base, wl100, WARMUP, MEASURE)
+        assert r100.get("stlb.mpki") < 0.3 * r0.get("stlb.mpki")
+        assert r100.ipc > r0.ipc

@@ -1,0 +1,109 @@
+"""Model-based test: ITPPolicy against a literal transcription of Figure 5.
+
+The reference model below re-implements iTP's insertion/promotion rules
+directly from the paper's flowchart text, independently of the library's
+RecencyStack-based implementation.  Hypothesis drives both with random
+insert/hit sequences and compares the full stack ordering and Freq state
+after every operation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import ITPConfig
+from repro.common.types import AccessType
+from repro.tlb.entry import TLBEntry
+from repro.tlb.policies.itp import ITPPolicy
+
+I = AccessType.INSTRUCTION
+D = AccessType.DATA
+
+ASSOC = 12
+N = 4
+M = 8
+FREQ_MAX = 7
+
+
+class ReferenceITP:
+    """Figure 5, transcribed: a list of (way) ordered MRU->LRU plus freqs."""
+
+    def __init__(self):
+        self.order = []          # index 0 = MRUpos
+        self.freq = {}
+
+    def _place(self, way, index):
+        if way in self.order:
+            self.order.remove(way)
+        index = max(0, min(index, len(self.order)))
+        self.order.insert(index, way)
+
+    def insert(self, way, access_type):
+        # Steps 1-4 of the flowchart.
+        if access_type == I:
+            self.freq[way] = 0                       # step 3
+            self._place(way, N)                      # step 2: MRUpos - N
+        else:
+            self._place(way, len(self.order))        # step 1: LRUpos
+        # step 4 (stack shift) is implicit in list insertion.
+
+    def hit(self, way, access_type):
+        # Steps i-iv.
+        if access_type == I:
+            if self.freq.get(way, 0) >= FREQ_MAX:
+                self._place(way, 0)                  # step ii: MRUpos
+            else:
+                self._place(way, N)                  # step i: MRUpos - N
+                self.freq[way] = self.freq.get(way, 0) + 1   # step iii
+        else:
+            # step iv: LRUpos + M (M positions above the bottom).
+            self._place(way, len(self.order) - 1 - M)
+
+    def victim(self):
+        return self.order[-1]                        # LRU eviction
+
+    def evict(self, way):
+        self.order.remove(way)
+        self.freq.pop(way, None)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "hit"]),
+            st.integers(0, ASSOC - 1),
+            st.sampled_from([I, D]),
+        ),
+        max_size=80,
+    )
+)
+def test_itp_matches_figure5_reference(ops):
+    policy = ITPPolicy(1, ASSOC, ITPConfig(insert_depth_n=N, data_promote_m=M))
+    entries = [TLBEntry(valid=True, vpn=i) for i in range(ASSOC)]
+    reference = ReferenceITP()
+    present = set()
+
+    for op, way, access_type in ops:
+        if op == "insert":
+            if way not in present and len(present) >= ASSOC:
+                victim = policy.victim(0, entries)
+                assert victim == reference.victim()
+                policy.on_evict(0, victim, entries)
+                reference.evict(victim)
+                present.discard(victim)
+                if victim == way:
+                    pass
+            entries[way].access_type = access_type
+            policy.on_insert(0, way, entries, access_type)
+            reference.insert(way, access_type)
+            present.add(way)
+        else:
+            if way not in present:
+                continue
+            policy.on_hit(0, way, entries, access_type)
+            reference.hit(way, access_type)
+
+        assert policy.stacks[0].order() == reference.order
+        for w in present:
+            if entries[w].access_type == I:
+                assert entries[w].freq == reference.freq.get(w, 0), f"freq mismatch way {w}"

@@ -1,0 +1,85 @@
+"""Unit tests for the MSHR file (the Type-bit dataflow of Figure 7)."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+from repro.common.types import AccessType, RequestType
+
+
+class TestAllocation:
+    def test_allocate_and_release(self):
+        mshrs = MSHRFile(4)
+        entry = mshrs.allocate(0x10, RequestType.LOAD)
+        assert len(mshrs) == 1
+        released = mshrs.release(0x10)
+        assert released is entry
+        assert len(mshrs) == 0
+
+    def test_release_missing_returns_none(self):
+        assert MSHRFile(4).release(0x99) is None
+
+    def test_lookup(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x10, RequestType.LOAD)
+        assert mshrs.lookup(0x10) is not None
+        assert mshrs.lookup(0x11) is None
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestTypeBit:
+    def test_pte_type_recorded(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x10, RequestType.PTW, is_pte=True, translation_type=AccessType.DATA)
+        entry = mshrs.release(0x10)
+        assert entry.is_pte
+        assert entry.translation_type == AccessType.DATA
+
+    def test_merge_counts(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x10, RequestType.LOAD)
+        mshrs.allocate(0x10, RequestType.LOAD)
+        assert mshrs.allocations == 1
+        assert mshrs.merges == 1
+        assert len(mshrs) == 1
+
+    def test_merge_strengthens_to_pte(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x10, RequestType.LOAD)
+        mshrs.allocate(0x10, RequestType.PTW, is_pte=True, translation_type=AccessType.DATA)
+        entry = mshrs.release(0x10)
+        assert entry.is_pte
+        assert entry.translation_type == AccessType.DATA
+
+    def test_merge_data_type_dominates(self):
+        # Once any requester marks the line a data PTE, the bit sticks.
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x10, RequestType.PTW, True, AccessType.INSTRUCTION)
+        mshrs.allocate(0x10, RequestType.PTW, True, AccessType.DATA)
+        assert mshrs.release(0x10).translation_type == AccessType.DATA
+
+    def test_merge_does_not_weaken(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x10, RequestType.PTW, True, AccessType.DATA)
+        mshrs.allocate(0x10, RequestType.PTW, True, AccessType.INSTRUCTION)
+        assert mshrs.release(0x10).translation_type == AccessType.DATA
+
+
+class TestStructuralHazard:
+    def test_full_file_evicts_oldest(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(1, RequestType.LOAD)
+        mshrs.allocate(2, RequestType.LOAD)
+        mshrs.allocate(3, RequestType.LOAD)
+        assert mshrs.full_events == 1
+        assert mshrs.lookup(1) is None
+        assert mshrs.lookup(3) is not None
+
+    def test_structural_penalty_only_when_full(self):
+        mshrs = MSHRFile(2, full_penalty=5)
+        assert mshrs.structural_penalty() == 0
+        mshrs.allocate(1, RequestType.LOAD)
+        mshrs.allocate(2, RequestType.LOAD)
+        assert mshrs.structural_penalty() == 5

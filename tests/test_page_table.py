@@ -1,0 +1,140 @@
+"""Unit tests for the 5-level radix page table."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import PAGE_BYTES, PageSize
+from repro.ptw.page_table import (
+    ENTRIES_PER_TABLE,
+    NUM_LEVELS,
+    PageTable,
+    level_index,
+)
+
+
+class TestLevelIndex:
+    def test_level1_is_low_bits(self):
+        assert level_index(0x1FF, 1) == 0x1FF
+
+    def test_level_slicing(self):
+        vpn = (3 << 36) | (5 << 27) | (7 << 18) | (9 << 9) | 11
+        assert level_index(vpn, 5) == 3
+        assert level_index(vpn, 4) == 5
+        assert level_index(vpn, 3) == 7
+        assert level_index(vpn, 2) == 9
+        assert level_index(vpn, 1) == 11
+
+
+class TestWalkPath:
+    def test_4k_walk_has_five_steps(self):
+        pt = PageTable()
+        path = pt.walk_path(0x1234_5000)
+        assert len(path.steps) == NUM_LEVELS
+        assert [s.level for s in path.steps] == [5, 4, 3, 2, 1]
+        assert path.page_size is PageSize.SIZE_4K
+        assert path.leaf_level == 1
+
+    def test_2m_walk_stops_at_level2(self):
+        pt = PageTable(size_policy=lambda vaddr: PageSize.SIZE_2M)
+        path = pt.walk_path(0x1234_5000)
+        assert [s.level for s in path.steps] == [5, 4, 3, 2]
+        assert path.page_size is PageSize.SIZE_2M
+        assert path.leaf_level == 2
+
+    def test_walk_is_deterministic(self):
+        pt = PageTable()
+        p1 = pt.walk_path(0x8000_0000)
+        p2 = pt.walk_path(0x8000_0000)
+        assert p1 == p2
+
+    def test_first_step_reads_root(self):
+        pt = PageTable()
+        path = pt.walk_path(0)
+        assert path.steps[0].entry_address >> 12 == pt.root_frame
+
+    def test_adjacent_pages_share_leaf_line(self):
+        # 8 PTEs per 64-byte line: the xPTP-relevant sharing property.
+        pt = PageTable()
+        leaf0 = pt.walk_path(0x0000).steps[-1].entry_address
+        leaf1 = pt.walk_path(0x1000).steps[-1].entry_address
+        assert leaf1 - leaf0 == 8
+        assert leaf0 >> 6 == leaf1 >> 6
+
+    def test_distant_pages_use_distinct_tables(self):
+        pt = PageTable()
+        a = pt.walk_path(0)
+        b = pt.walk_path(1 << 40)
+        assert a.steps[-1].entry_address >> 12 != b.steps[-1].entry_address >> 12
+        assert a.steps[0].entry_address >> 12 == b.steps[0].entry_address >> 12
+
+    def test_table_count_grows_lazily(self):
+        pt = PageTable()
+        assert pt.table_count == 1  # just the root
+        pt.walk_path(0)
+        assert pt.table_count == 5
+        pt.walk_path(0x1000)  # same tables
+        assert pt.table_count == 5
+
+
+class TestMapping:
+    def test_pfn_stable_across_walks(self):
+        pt = PageTable()
+        assert pt.walk_path(0x5000).pfn == pt.walk_path(0x5000).pfn
+
+    def test_distinct_pages_get_distinct_frames(self):
+        pt = PageTable()
+        pfns = {pt.walk_path(i << 12).pfn for i in range(64)}
+        assert len(pfns) == 64
+
+    def test_page_counters(self):
+        pt = PageTable()
+        pt.walk_path(0x0000)
+        pt.walk_path(0x1000)
+        pt.walk_path(0x1800)  # same page as 0x1000
+        assert pt.pages_mapped_4k == 2
+        assert pt.pages_mapped_2m == 0
+
+    def test_2m_page_contiguous_and_aligned(self):
+        pt = PageTable(size_policy=lambda vaddr: PageSize.SIZE_2M)
+        base = pt.walk_path(0x20_0000).pfn
+        assert base % ENTRIES_PER_TABLE == 0  # 2 MB-aligned allocation
+        nxt = pt.walk_path(0x20_1000).pfn
+        assert nxt == base + 1
+        assert pt.pages_mapped_2m == 1
+
+    def test_translate_composes_offset(self):
+        pt = PageTable()
+        paddr = pt.translate(0x5123)
+        assert paddr & 0xFFF == 0x123
+        assert paddr >> 12 == pt.walk_path(0x5123).pfn
+
+    def test_translate_2m_region_is_contiguous(self):
+        pt = PageTable(size_policy=lambda vaddr: PageSize.SIZE_2M)
+        p0 = pt.translate(0x20_0000)
+        p1 = pt.translate(0x20_0000 + PAGE_BYTES)
+        assert p1 - p0 == PAGE_BYTES
+
+    def test_negative_address_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            PageTable().walk_path(-1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(vaddrs=st.lists(st.integers(min_value=0, max_value=(1 << 45) - 1), max_size=30))
+def test_translation_is_a_function(vaddrs):
+    """Same vaddr always maps to the same paddr; offsets preserved."""
+    pt = PageTable()
+    first = {v: pt.translate(v) for v in vaddrs}
+    for v in vaddrs:
+        assert pt.translate(v) == first[v]
+        assert first[v] & 0xFFF == v & 0xFFF
+
+
+@settings(max_examples=50, deadline=None)
+@given(pages=st.lists(st.integers(min_value=0, max_value=1 << 30), unique=True, max_size=30))
+def test_distinct_pages_never_collide(pages):
+    pt = PageTable()
+    frames = [pt.walk_path(p << 12).pfn for p in pages]
+    assert len(set(frames)) == len(frames)

@@ -1,0 +1,143 @@
+"""Unit tests for repro.common.params (Table 1 encoding and validation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import (
+    CacheConfig,
+    ITPConfig,
+    SystemConfig,
+    TABLE1,
+    TLBConfig,
+    XPTPConfig,
+    make_config,
+    scaled_config,
+)
+
+
+class TestTable1:
+    """The defaults must match Table 1 of the paper."""
+
+    def test_itlb(self):
+        assert TABLE1.itlb.entries == 64
+        assert TABLE1.itlb.associativity == 4
+        assert TABLE1.itlb.latency == 1
+        assert TABLE1.itlb.mshr_entries == 8
+
+    def test_dtlb(self):
+        assert TABLE1.dtlb.entries == 64
+        assert TABLE1.dtlb.associativity == 4
+
+    def test_stlb(self):
+        assert TABLE1.stlb.entries == 1536
+        assert TABLE1.stlb.associativity == 12
+        assert TABLE1.stlb.latency == 8
+        assert TABLE1.stlb.mshr_entries == 16
+
+    def test_itp_parameters(self):
+        assert TABLE1.itp.freq_bits == 3
+        assert TABLE1.itp.freq_max == 7
+        assert TABLE1.itp.insert_depth_n == 4
+        assert TABLE1.itp.data_promote_m == 8
+
+    def test_xptp_parameter(self):
+        assert TABLE1.xptp.k == 8
+
+    def test_caches(self):
+        assert TABLE1.l1i.size_bytes == 32 * 1024
+        assert TABLE1.l1d.size_bytes == 32 * 1024
+        assert TABLE1.l2c.size_bytes == 512 * 1024
+        assert TABLE1.l2c.associativity == 8
+        assert TABLE1.llc.size_bytes == 2 * 1024 * 1024
+        assert TABLE1.llc.associativity == 16
+        assert TABLE1.llc.latency == 10
+
+    def test_prefetchers(self):
+        assert TABLE1.l1i.prefetcher == "fdip"
+        assert TABLE1.l1d.prefetcher == "next_line"
+        assert TABLE1.l2c.prefetcher == "stride"
+        assert TABLE1.llc.prefetcher is None
+
+    def test_psc_geometry(self):
+        assert TABLE1.psc.pscl5_entries == 2
+        assert TABLE1.psc.pscl4_entries == 4
+        assert TABLE1.psc.pscl3_entries == 8
+        assert TABLE1.psc.pscl2_entries == 32
+
+    def test_adaptive_window(self):
+        assert TABLE1.adaptive.window_instructions == 1000
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig("x", size_bytes=64 * 1024, associativity=8, latency=1, mshr_entries=8)
+        assert cfg.num_sets == 128
+        assert cfg.num_lines == 1024
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            CacheConfig("x", size_bytes=1000, associativity=8, latency=1, mshr_entries=8)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheConfig("x", size_bytes=3 * 64 * 8, associativity=8, latency=1, mshr_entries=8)
+
+
+class TestTLBConfig:
+    def test_num_sets(self):
+        cfg = TLBConfig("x", entries=1536, associativity=12, latency=8)
+        assert cfg.num_sets == 128
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError):
+            TLBConfig("x", entries=100, associativity=12, latency=8)
+
+
+class TestITPConfig:
+    def test_freq_max(self):
+        assert ITPConfig(freq_bits=2).freq_max == 3
+
+
+class TestConfigBuilders:
+    def test_make_config_overrides(self):
+        cfg = make_config(stlb_policy="itp")
+        assert cfg.stlb_policy == "itp"
+        assert cfg.stlb.entries == 1536
+
+    def test_with_policies_returns_copy(self):
+        cfg = TABLE1.with_policies(stlb="itp", l2c="xptp")
+        assert cfg.stlb_policy == "itp"
+        assert cfg.l2c_policy == "xptp"
+        assert TABLE1.stlb_policy == "lru"
+
+    def test_with_policies_partial(self):
+        cfg = TABLE1.with_policies(l2c="tdrrip")
+        assert cfg.stlb_policy == "lru"
+        assert cfg.l2c_policy == "tdrrip"
+
+    def test_scaled_config_divides_capacities(self):
+        cfg = scaled_config(4)
+        assert cfg.stlb.entries == 1536 // 4
+        assert cfg.itlb.entries == 16
+        assert cfg.l2c.size_bytes == 128 * 1024
+        assert cfg.llc.size_bytes == 512 * 1024
+
+    def test_scaled_config_preserves_latencies_and_assoc(self):
+        cfg = scaled_config(4)
+        assert cfg.stlb.latency == TABLE1.stlb.latency
+        assert cfg.stlb.associativity == TABLE1.stlb.associativity
+        assert cfg.llc.associativity == TABLE1.llc.associativity
+
+    def test_scaled_config_floors_at_associativity(self):
+        cfg = scaled_config(1024)
+        assert cfg.itlb.entries >= cfg.itlb.associativity
+        assert cfg.l1i.size_bytes >= cfg.l1i.line_bytes * cfg.l1i.associativity
+
+    def test_scaled_config_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            scaled_config(0)
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            TABLE1.stlb_policy = "itp"

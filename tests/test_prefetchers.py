@@ -1,0 +1,91 @@
+"""Unit tests for the prefetchers (next-line, stride, FDIP)."""
+
+import pytest
+
+from repro.cache.prefetch import (
+    FDIPPrefetcher,
+    NextLinePrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+
+from .helpers import ifetch, load, make_cache
+
+
+class TestNextLine:
+    def test_prefetches_next_line_on_access(self):
+        cache, _ = make_cache(sets=16, assoc=4, prefetcher=NextLinePrefetcher(degree=1))
+        cache.access(load(0x1000))
+        assert cache.probe(0x1040)
+
+    def test_degree(self):
+        cache, _ = make_cache(sets=16, assoc=4, prefetcher=NextLinePrefetcher(degree=3))
+        cache.access(load(0x1000))
+        for step in (1, 2, 3):
+            assert cache.probe(0x1000 + 64 * step)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+
+class TestStride:
+    def test_detects_stride_after_confirmation(self):
+        cache, _ = make_cache(sets=64, assoc=4, prefetcher=StridePrefetcher(degree=1))
+        pc = 0x400
+        # Three accesses with stride 2 lines: third confirms and prefetches.
+        cache.access(load(0x0000, pc=pc))
+        cache.access(load(0x0080, pc=pc))
+        assert not cache.probe(0x0100)
+        cache.access(load(0x0100, pc=pc))
+        assert cache.probe(0x0180)
+
+    def test_no_prefetch_on_stride_change(self):
+        cache, _ = make_cache(sets=64, assoc=4, prefetcher=StridePrefetcher(degree=1))
+        pc = 0x400
+        cache.access(load(0x0000, pc=pc))
+        cache.access(load(0x0080, pc=pc))
+        cache.access(load(0x0240, pc=pc))  # different stride
+        assert not cache.probe(0x0240 + 0x80)
+
+    def test_zero_stride_ignored(self):
+        cache, _ = make_cache(sets=64, assoc=4, prefetcher=StridePrefetcher(degree=1))
+        pc = 0x400
+        cache.access(load(0x0000, pc=pc))
+        cache.access(load(0x0010, pc=pc))  # same line -> stride 0
+        assert cache.stats.prefetch_fills == 0
+
+
+class TestFDIP:
+    def test_sequential_fetch_runs_ahead(self):
+        cache, _ = make_cache(sets=64, assoc=4, prefetcher=FDIPPrefetcher(depth=4))
+        cache.access(ifetch(0x0000))
+        cache.access(ifetch(0x0040))  # sequential
+        for step in range(2, 6):
+            assert cache.probe(0x0040 + 64 * (step - 1))
+
+    def test_redirect_prefetches_fallthrough_only(self):
+        cache, _ = make_cache(sets=64, assoc=4, prefetcher=FDIPPrefetcher(depth=4))
+        cache.access(ifetch(0x0000))
+        cache.access(ifetch(0x8000))  # taken branch
+        assert cache.probe(0x8040)
+        assert not cache.probe(0x8080)
+
+    def test_ignores_data_accesses(self):
+        cache, _ = make_cache(sets=64, assoc=4, prefetcher=FDIPPrefetcher())
+        cache.access(load(0x1000))
+        assert cache.stats.prefetch_fills == 0
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_prefetcher("next_line"), NextLinePrefetcher)
+        assert isinstance(make_prefetcher("stride"), StridePrefetcher)
+        assert isinstance(make_prefetcher("fdip"), FDIPPrefetcher)
+
+    def test_none_means_no_prefetcher(self):
+        assert make_prefetcher(None) is None
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            make_prefetcher("bingo")

@@ -1,0 +1,198 @@
+"""Unit tests for cache replacement policies (LRU, Random, SRRIP/DRRIP family)."""
+
+import pytest
+
+from repro.cache.line import CacheLine
+from repro.common.types import AccessType, MemoryRequest, RequestType
+from repro.replacement.drrip import DRRIPPolicy, PSEL_MAX
+from repro.replacement.lru import LRUPolicy
+from repro.replacement.random_policy import RandomPolicy
+from repro.replacement.registry import available_policies, make_cache_policy
+from repro.replacement.srrip import RRPV_LONG, RRPV_MAX, SRRIPPolicy
+from repro.replacement.tdrrip import TDRRIPPolicy
+
+
+def lines(n=4):
+    return [CacheLine(valid=True, tag=i) for i in range(n)]
+
+
+def req(req_type=RequestType.LOAD, is_pte=False, ttype=None, stlb_miss=False, pc=0):
+    return MemoryRequest(
+        address=0x1000, req_type=req_type, is_pte=is_pte,
+        translation_type=ttype, stlb_miss=stlb_miss, pc=pc,
+    )
+
+
+class TestLRUPolicy:
+    def test_victim_is_least_recent_fill(self):
+        policy = LRUPolicy(1, 4)
+        ls = lines()
+        for way in range(4):
+            policy.on_fill(0, way, ls, req())
+        assert policy.victim(0, ls, req()) == 0
+
+    def test_hit_promotes(self):
+        policy = LRUPolicy(1, 4)
+        ls = lines()
+        for way in range(4):
+            policy.on_fill(0, way, ls, req())
+        policy.on_hit(0, 0, ls, req())
+        assert policy.victim(0, ls, req()) == 1
+
+    def test_evict_removes_from_stack(self):
+        policy = LRUPolicy(1, 2)
+        ls = lines(2)
+        policy.on_fill(0, 0, ls, req())
+        policy.on_fill(0, 1, ls, req())
+        policy.on_evict(0, 0, ls)
+        assert policy.victim(0, ls, req()) == 1
+
+
+class TestRandomPolicy:
+    def test_victims_in_range_and_deterministic(self):
+        p1 = RandomPolicy(1, 4, seed=42)
+        p2 = RandomPolicy(1, 4, seed=42)
+        ls = lines()
+        seq1 = [p1.victim(0, ls, req()) for _ in range(20)]
+        seq2 = [p2.victim(0, ls, req()) for _ in range(20)]
+        assert seq1 == seq2
+        assert all(0 <= v < 4 for v in seq1)
+        assert len(set(seq1)) > 1
+
+
+class TestSRRIP:
+    def test_fill_inserts_long(self):
+        policy = SRRIPPolicy(1, 4)
+        ls = lines()
+        policy.on_fill(0, 0, ls, req())
+        assert ls[0].rrpv == RRPV_LONG
+
+    def test_hit_promotes_to_near(self):
+        policy = SRRIPPolicy(1, 4)
+        ls = lines()
+        policy.on_fill(0, 0, ls, req())
+        policy.on_hit(0, 0, ls, req())
+        assert ls[0].rrpv == 0
+
+    def test_victim_prefers_distant(self):
+        policy = SRRIPPolicy(1, 4)
+        ls = lines()
+        for way in range(4):
+            ls[way].rrpv = RRPV_LONG
+        ls[2].rrpv = RRPV_MAX
+        assert policy.victim(0, ls, req()) == 2
+
+    def test_victim_ages_set_when_no_distant(self):
+        policy = SRRIPPolicy(1, 4)
+        ls = lines()
+        for way in range(4):
+            ls[way].rrpv = 0
+        victim = policy.victim(0, ls, req())
+        assert victim == 0
+        assert all(line.rrpv == RRPV_MAX for line in ls)
+
+
+class TestDRRIP:
+    def test_leader_sets_disjoint(self):
+        policy = DRRIPPolicy(64, 4)
+        assert not (policy.srrip_leaders & policy.brrip_leaders)
+        assert policy.srrip_leaders and policy.brrip_leaders
+
+    def test_psel_moves_on_leader_misses(self):
+        policy = DRRIPPolicy(64, 4)
+        start = policy.psel
+        leader = next(iter(policy.srrip_leaders))
+        policy.record_miss(leader)
+        assert policy.psel == start + 1
+        brrip_leader = next(iter(policy.brrip_leaders))
+        policy.record_miss(brrip_leader)
+        assert policy.psel == start
+
+    def test_psel_saturates(self):
+        policy = DRRIPPolicy(64, 4)
+        leader = next(iter(policy.srrip_leaders))
+        for _ in range(PSEL_MAX * 2):
+            policy.record_miss(leader)
+        assert policy.psel == PSEL_MAX
+
+    def test_brrip_mostly_inserts_distant(self):
+        policy = DRRIPPolicy(64, 4, seed=7)
+        brrip_leader = next(iter(policy.brrip_leaders))
+        ls = lines()
+        distant = 0
+        for _ in range(64):
+            policy.on_fill(brrip_leader, 0, ls, req())
+            distant += ls[0].rrpv == RRPV_MAX
+        assert distant > 48  # 31/32 expected
+
+
+class TestTDRRIP:
+    def test_pte_fill_near(self):
+        policy = TDRRIPPolicy(64, 4)
+        ls = lines()
+        policy.on_fill(0, 0, ls, req(RequestType.PTW, is_pte=True, ttype=AccessType.DATA))
+        assert ls[0].rrpv == 0
+
+    def test_stlb_miss_demand_fill_distant(self):
+        policy = TDRRIPPolicy(64, 4)
+        ls = lines()
+        policy.on_fill(0, 0, ls, req(stlb_miss=True))
+        assert ls[0].rrpv == RRPV_MAX
+
+    def test_normal_demand_follows_drrip(self):
+        policy = TDRRIPPolicy(64, 4)
+        leader = next(iter(policy.srrip_leaders))
+        ls = lines()
+        policy.on_fill(leader, 0, ls, req())
+        assert ls[0].rrpv == RRPV_LONG
+
+
+class TestRegistry:
+    def test_all_registered_policies_instantiate(self):
+        for name in available_policies():
+            policy = make_cache_policy(name, 8, 4)
+            assert policy.num_sets == 8
+            assert policy.associativity == 4
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown cache policy"):
+            make_cache_policy("belady", 8, 4)
+
+    def test_xptp_k_passthrough(self):
+        policy = make_cache_policy("xptp", 8, 4, xptp_k=3)
+        assert policy.k == 3
+
+
+class TestTSHiP:
+    def test_pte_fill_near(self):
+        from repro.replacement.tship import TSHiPPolicy
+
+        policy = TSHiPPolicy(64, 4)
+        ls = lines()
+        policy.on_fill(0, 0, ls, req(RequestType.PTW, is_pte=True, ttype=AccessType.DATA))
+        assert ls[0].rrpv == 0
+
+    def test_stlb_miss_fill_distant(self):
+        from repro.replacement.tship import TSHiPPolicy
+
+        policy = TSHiPPolicy(64, 4)
+        ls = lines()
+        policy.on_fill(0, 0, ls, req(stlb_miss=True))
+        assert ls[0].rrpv == RRPV_MAX
+
+    def test_normal_fill_uses_shct(self):
+        from repro.replacement.ship import pc_signature
+        from repro.replacement.tship import TSHiPPolicy
+
+        policy = TSHiPPolicy(64, 4)
+        ls = lines()
+        r = req(pc=0x1234)
+        policy.shct[pc_signature(r)] = 0
+        policy.on_fill(0, 0, ls, r)
+        assert ls[0].rrpv == RRPV_MAX
+
+    def test_registered(self):
+        from repro.replacement.registry import make_cache_policy
+        from repro.replacement.tship import TSHiPPolicy
+
+        assert isinstance(make_cache_policy("tship", 8, 4), TSHiPPolicy)

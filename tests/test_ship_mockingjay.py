@@ -1,0 +1,110 @@
+"""Unit tests for the SHiP and Mockingjay-simplified LLC policies."""
+
+from repro.cache.line import CacheLine
+from repro.common.types import MemoryRequest, RequestType
+from repro.replacement.mockingjay import MockingjayPolicy
+from repro.replacement.ship import SHCT_MAX, SHiPPolicy, pc_signature
+from repro.replacement.srrip import RRPV_LONG, RRPV_MAX
+
+
+def req(pc=0x400, addr=0x1000):
+    return MemoryRequest(address=addr, req_type=RequestType.LOAD, pc=pc)
+
+
+def lines(n=4):
+    return [CacheLine(valid=True, tag=i) for i in range(n)]
+
+
+class TestSHiP:
+    def test_fill_records_signature(self):
+        policy = SHiPPolicy(4, 4)
+        ls = lines()
+        r = req(pc=0x1234)
+        policy.on_fill(0, 0, ls, r)
+        assert ls[0].signature == pc_signature(r)
+        assert not ls[0].outcome
+        assert ls[0].rrpv == RRPV_LONG
+
+    def test_hit_trains_up(self):
+        policy = SHiPPolicy(4, 4)
+        ls = lines()
+        r = req()
+        sig = pc_signature(r)
+        before = policy.shct[sig]
+        policy.on_fill(0, 0, ls, r)
+        policy.on_hit(0, 0, ls, r)
+        assert policy.shct[sig] == before + 1
+        assert ls[0].rrpv == 0
+        # Second hit on the same generation trains only once.
+        policy.on_hit(0, 0, ls, r)
+        assert policy.shct[sig] == before + 1
+
+    def test_dead_eviction_trains_down(self):
+        policy = SHiPPolicy(4, 4)
+        ls = lines()
+        r = req()
+        sig = pc_signature(r)
+        before = policy.shct[sig]
+        policy.on_fill(0, 0, ls, r)
+        policy.on_evict(0, 0, ls)
+        assert policy.shct[sig] == before - 1
+
+    def test_zero_confidence_inserts_distant(self):
+        policy = SHiPPolicy(4, 4)
+        ls = lines()
+        r = req()
+        policy.shct[pc_signature(r)] = 0
+        policy.on_fill(0, 0, ls, r)
+        assert ls[0].rrpv == RRPV_MAX
+
+    def test_shct_saturates(self):
+        policy = SHiPPolicy(4, 4)
+        ls = lines()
+        r = req()
+        sig = pc_signature(r)
+        policy.shct[sig] = SHCT_MAX
+        policy.on_fill(0, 0, ls, r)
+        policy.on_hit(0, 0, ls, r)
+        assert policy.shct[sig] == SHCT_MAX
+
+
+class TestMockingjay:
+    def test_fill_sets_eta(self):
+        policy = MockingjayPolicy(4, 4)
+        ls = lines()
+        policy.on_fill(0, 0, ls, req())
+        assert ls[0].eta > policy.clock - 1
+
+    def test_victim_prefers_overdue(self):
+        policy = MockingjayPolicy(4, 4)
+        ls = lines()
+        policy.clock = 1000
+        for way in range(4):
+            ls[way].eta = 2000
+        ls[2].eta = 10  # long overdue: predicted dead
+        assert policy.victim(0, ls, req()) == 2
+
+    def test_victim_furthest_future_when_none_overdue(self):
+        policy = MockingjayPolicy(4, 4)
+        ls = lines()
+        policy.clock = 0
+        for way, eta in enumerate([100, 400, 200, 300]):
+            ls[way].eta = eta
+        assert policy.victim(0, ls, req()) == 1
+
+    def test_sampler_trains_reuse_distance(self):
+        policy = MockingjayPolicy(4, 4)
+        ls = lines()
+        r = req(pc=0x777, addr=0x8000)  # line addr & 0x7 == 0 -> sampled
+        default = policy.predicted_reuse[:]
+        policy.on_fill(0, 0, ls, r)
+        for _ in range(5):
+            policy.on_hit(0, 0, ls, r)
+        assert policy.predicted_reuse != default
+
+    def test_clock_advances(self):
+        policy = MockingjayPolicy(4, 4)
+        ls = lines()
+        policy.on_fill(0, 0, ls, req())
+        policy.on_hit(0, 0, ls, req())
+        assert policy.clock == 2

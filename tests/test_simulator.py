@@ -1,0 +1,105 @@
+"""Unit tests for the simulation drivers."""
+
+import pytest
+
+from repro.common.params import scaled_config
+from repro.core.simulator import SimulationResult, simulate, simulate_smt
+from repro.workloads.server import ServerWorkload
+from repro.workloads.speclike import SpecLikeWorkload
+
+
+def small_server(seed=1, **kw):
+    kw.setdefault("code_pages", 64)
+    kw.setdefault("data_pages", 2000)
+    kw.setdefault("hot_data_pages", 64)
+    kw.setdefault("warm_pages", 500)
+    kw.setdefault("local_pages", 32)
+    return ServerWorkload(f"srv{seed}", seed, **kw)
+
+
+class TestSimulate:
+    def test_runs_and_reports(self):
+        result = simulate(scaled_config(), small_server(), 2000, 10000)
+        assert result.ipc > 0
+        assert result.stats.instructions >= 10000
+        assert result.get("stlb.mpki") >= 0
+        assert result["ipc"] == pytest.approx(result.ipc)
+
+    def test_deterministic(self):
+        r1 = simulate(scaled_config(), small_server(), 2000, 8000)
+        r2 = simulate(scaled_config(), small_server(), 2000, 8000)
+        assert r1.ipc == r2.ipc
+        assert r1.metrics == r2.metrics
+
+    def test_warmup_not_measured(self):
+        result = simulate(scaled_config(), small_server(), 5000, 8000)
+        # Warmup instructions are excluded from the measured count.
+        assert result.stats.instructions < 5000 + 8000 + 50
+
+    def test_warmup_affects_measured_hit_rates(self):
+        cold = simulate(scaled_config(), small_server(), 0, 8000)
+        warm = simulate(scaled_config(), small_server(), 30000, 8000)
+        # A cold-started measurement sees the compulsory STLB misses.
+        assert warm.get("stlb.mpki") < cold.get("stlb.mpki")
+
+    def test_config_label_recorded(self):
+        result = simulate(scaled_config(), small_server(), 1000, 4000, config_label="lru")
+        assert result.config_label == "lru"
+        assert result.workload.startswith("srv")
+
+
+class TestSimulateSMT:
+    def mixes(self):
+        return [small_server(1), small_server(2)]
+
+    def test_runs_two_threads(self):
+        result = simulate_smt(scaled_config(), self.mixes(), 2000, 12000)
+        assert result.ipc > 0
+        per_thread = result.stats.per_thread_instructions
+        assert set(per_thread) == {0, 1}
+        # Round-robin fetch keeps the threads roughly balanced.
+        assert abs(per_thread[0] - per_thread[1]) < 2000
+
+    def test_rejects_wrong_thread_count(self):
+        with pytest.raises(ValueError):
+            simulate_smt(scaled_config(), [small_server()], 100, 200)
+
+    def test_smt_throughput_between_1x_and_2x(self):
+        wl = small_server(1)
+        single = simulate(scaled_config(), wl, 2000, 10000)
+        pair = simulate_smt(scaled_config(), [small_server(1), small_server(2)], 2000, 20000)
+        assert pair.ipc > single.ipc * 0.8
+        assert pair.ipc < single.ipc * 2.2
+
+    def test_smt_name_joins_workloads(self):
+        result = simulate_smt(scaled_config(), self.mixes(), 1000, 6000)
+        assert "+" in result.workload
+
+    def test_different_page_policies_per_thread(self):
+        a = small_server(1, large_page_percent=100)
+        b = small_server(2, large_page_percent=0)
+        result = simulate_smt(scaled_config(), [a, b], 2000, 12000)
+        assert result.ipc > 0
+
+
+class TestAdaptiveIntegration:
+    def test_adaptive_counters_exported(self):
+        cfg = scaled_config().with_policies(stlb="itp", l2c="xptp")
+        result = simulate(cfg, small_server(), 5000, 20000)
+        assert result.get("adaptive.windows_total") > 0
+
+    def test_high_pressure_enables_xptp(self):
+        cfg = scaled_config().with_policies(stlb="itp", l2c="xptp")
+        wl = ServerWorkload("hot", 3)  # default: heavy STLB pressure
+        result = simulate(cfg, wl, 20000, 40000)
+        assert result.get("adaptive.windows_enabled") > 0.5 * result.get(
+            "adaptive.windows_total"
+        )
+
+    def test_low_pressure_disables_xptp(self):
+        cfg = scaled_config().with_policies(stlb="itp", l2c="xptp")
+        wl = SpecLikeWorkload("cold", 3, code_pages=4, data_pages=256, hot_data_pages=64)
+        result = simulate(cfg, wl, 20000, 40000)
+        assert result.get("adaptive.windows_enabled") < 0.5 * result.get(
+            "adaptive.windows_total"
+        )

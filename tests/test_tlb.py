@@ -1,0 +1,122 @@
+"""Unit tests for the set-associative TLB structure."""
+
+import pytest
+
+from repro.common.params import TLBConfig
+from repro.common.stats import LevelStats
+from repro.common.types import AccessType, PageSize
+from repro.tlb.policies.registry import make_tlb_policy
+from repro.tlb.tlb import TLB
+
+
+def make_tlb(entries=16, assoc=4, policy="lru", **policy_kwargs):
+    config = TLBConfig("T", entries=entries, associativity=assoc, latency=1)
+    pol = make_tlb_policy(policy, config.num_sets, config.associativity, **policy_kwargs)
+    return TLB(config, pol, LevelStats("T"))
+
+
+def vaddr_of(set_index, tag, num_sets, page_size=PageSize.SIZE_4K):
+    vpn = tag * num_sets + set_index
+    return vpn << page_size.offset_bits
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        tlb = make_tlb()
+        assert tlb.lookup(0x1000, AccessType.DATA) is None
+        tlb.insert(0x1000, pfn=42, page_size=PageSize.SIZE_4K, access_type=AccessType.DATA)
+        entry = tlb.lookup(0x1000, AccessType.DATA)
+        assert entry is not None
+        assert entry.pfn == 42
+
+    def test_same_page_different_offset_hits(self):
+        tlb = make_tlb()
+        tlb.insert(0x1000, 42, PageSize.SIZE_4K, AccessType.DATA)
+        assert tlb.lookup(0x1FFF, AccessType.DATA) is not None
+        assert tlb.lookup(0x2000, AccessType.DATA) is None
+
+    def test_2mb_entry_covers_whole_region(self):
+        tlb = make_tlb()
+        tlb.insert(0x20_0000, 512, PageSize.SIZE_2M, AccessType.DATA)
+        assert tlb.lookup(0x20_0000, AccessType.DATA) is not None
+        assert tlb.lookup(0x3F_FFFF, AccessType.DATA) is not None
+        assert tlb.lookup(0x40_0000, AccessType.DATA) is None
+
+    def test_4k_and_2m_coexist(self):
+        tlb = make_tlb()
+        tlb.insert(0x0000, 1, PageSize.SIZE_4K, AccessType.DATA)
+        tlb.insert(0x20_0000, 2, PageSize.SIZE_2M, AccessType.INSTRUCTION)
+        assert tlb.lookup(0x0000, AccessType.DATA).pfn == 1
+        assert tlb.lookup(0x30_0000, AccessType.DATA).pfn == 2
+
+    def test_reinsert_updates_in_place(self):
+        tlb = make_tlb()
+        tlb.insert(0x1000, 42, PageSize.SIZE_4K, AccessType.DATA)
+        tlb.insert(0x1000, 43, PageSize.SIZE_4K, AccessType.DATA)
+        assert tlb.occupancy() == 1
+        assert tlb.lookup(0x1000, AccessType.DATA).pfn == 43
+
+    def test_type_bit_stored(self):
+        tlb = make_tlb()
+        tlb.insert(0x1000, 1, PageSize.SIZE_4K, AccessType.INSTRUCTION)
+        assert tlb.lookup(0x1000, AccessType.INSTRUCTION).is_instruction
+        assert tlb.instruction_entries() == 1
+
+
+class TestEviction:
+    def test_lru_eviction(self):
+        tlb = make_tlb(entries=8, assoc=2)  # 4 sets
+        num_sets = 4
+        a, b, c = (vaddr_of(0, tag, num_sets) for tag in (1, 2, 3))
+        tlb.insert(a, 1, PageSize.SIZE_4K, AccessType.DATA)
+        tlb.insert(b, 2, PageSize.SIZE_4K, AccessType.DATA)
+        tlb.insert(c, 3, PageSize.SIZE_4K, AccessType.DATA)
+        assert tlb.lookup(a, AccessType.DATA) is None
+        assert tlb.lookup(b, AccessType.DATA) is not None
+        assert tlb.stats.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        tlb = make_tlb(entries=8, assoc=2)
+        num_sets = 4
+        a, b, c = (vaddr_of(0, tag, num_sets) for tag in (1, 2, 3))
+        tlb.insert(a, 1, PageSize.SIZE_4K, AccessType.DATA)
+        tlb.insert(b, 2, PageSize.SIZE_4K, AccessType.DATA)
+        tlb.lookup(a, AccessType.DATA)
+        tlb.insert(c, 3, PageSize.SIZE_4K, AccessType.DATA)
+        assert tlb.lookup(a, AccessType.DATA) is not None
+        assert tlb.lookup(b, AccessType.DATA) is None
+
+
+class TestStatsAndProbe:
+    def test_lookup_records_hit_by_category(self):
+        tlb = make_tlb()
+        tlb.insert(0x1000, 1, PageSize.SIZE_4K, AccessType.DATA)
+        tlb.lookup(0x1000, AccessType.DATA)
+        tlb.lookup(0x1000, AccessType.INSTRUCTION)
+        assert tlb.stats.category_accesses == {"d": 1, "i": 1}
+        assert tlb.stats.hits == 2
+
+    def test_caller_records_miss(self):
+        tlb = make_tlb()
+        tlb.lookup(0x1000, AccessType.DATA)
+        assert tlb.stats.misses == 0  # miss is recorded by the caller
+        tlb.record_miss(AccessType.DATA, 120)
+        assert tlb.stats.misses == 1
+        assert tlb.stats.avg_miss_latency == 120
+
+    def test_probe_does_not_touch_policy(self):
+        tlb = make_tlb(entries=8, assoc=2)
+        num_sets = 4
+        a, b, c = (vaddr_of(0, tag, num_sets) for tag in (1, 2, 3))
+        tlb.insert(a, 1, PageSize.SIZE_4K, AccessType.DATA)
+        tlb.insert(b, 2, PageSize.SIZE_4K, AccessType.DATA)
+        assert tlb.probe(a)
+        tlb.insert(c, 3, PageSize.SIZE_4K, AccessType.DATA)
+        # a was only probed, not promoted: it is still the LRU victim.
+        assert not tlb.probe(a)
+
+    def test_geometry_mismatch_rejected(self):
+        config = TLBConfig("T", entries=16, associativity=4, latency=1)
+        bad = make_tlb_policy("lru", 99, 4)
+        with pytest.raises(ValueError, match="geometry"):
+            TLB(config, bad, LevelStats("T"))

@@ -1,0 +1,104 @@
+"""Unit tests for repro.common.types."""
+
+import pytest
+
+from repro.common.types import (
+    AccessType,
+    CACHE_LINE_BYTES,
+    MemoryRequest,
+    PAGE_BYTES,
+    PageSize,
+    RequestType,
+    TraceRecord,
+    line_of,
+    vpn_of,
+)
+
+
+class TestConstants:
+    def test_line_geometry(self):
+        assert CACHE_LINE_BYTES == 64
+        assert PAGE_BYTES == 4096
+
+    def test_pte_per_line(self):
+        from repro.common.types import PTE_BYTES, PTES_PER_LINE
+
+        assert PTES_PER_LINE == 8
+        assert PTE_BYTES * PTES_PER_LINE == CACHE_LINE_BYTES
+
+
+class TestPageSize:
+    def test_offset_bits(self):
+        assert PageSize.SIZE_4K.offset_bits == 12
+        assert PageSize.SIZE_2M.offset_bits == 21
+
+    def test_values_are_byte_sizes(self):
+        assert PageSize.SIZE_4K == 4096
+        assert PageSize.SIZE_2M == 2 * 1024 * 1024
+
+
+class TestAccessType:
+    def test_paper_type_bit_encoding(self):
+        # Figure 7: Type is 0 for instruction, 1 for data.
+        assert AccessType.INSTRUCTION == 0
+        assert AccessType.DATA == 1
+
+
+class TestMemoryRequest:
+    def test_line_address(self):
+        req = MemoryRequest(address=0x1234, req_type=RequestType.LOAD)
+        assert req.line_address == 0x1234 >> 6
+
+    def test_data_pte_flags(self):
+        req = MemoryRequest(
+            address=0, req_type=RequestType.PTW, is_pte=True,
+            translation_type=AccessType.DATA,
+        )
+        assert req.is_data_pte
+        assert not req.is_instr_pte
+
+    def test_instr_pte_flags(self):
+        req = MemoryRequest(
+            address=0, req_type=RequestType.PTW, is_pte=True,
+            translation_type=AccessType.INSTRUCTION,
+        )
+        assert req.is_instr_pte
+        assert not req.is_data_pte
+
+    def test_non_pte_is_neither(self):
+        req = MemoryRequest(address=0, req_type=RequestType.LOAD)
+        assert not req.is_data_pte
+        assert not req.is_instr_pte
+
+    def test_frozen(self):
+        req = MemoryRequest(address=0, req_type=RequestType.LOAD)
+        with pytest.raises(AttributeError):
+            req.address = 1
+
+
+class TestHelpers:
+    def test_line_of(self):
+        assert line_of(0) == 0
+        assert line_of(63) == 0
+        assert line_of(64) == 1
+
+    def test_vpn_of_4k(self):
+        assert vpn_of(4095) == 0
+        assert vpn_of(4096) == 1
+
+    def test_vpn_of_2m(self):
+        assert vpn_of(2 * 1024 * 1024 - 1, PageSize.SIZE_2M) == 0
+        assert vpn_of(2 * 1024 * 1024, PageSize.SIZE_2M) == 1
+
+
+class TestTraceRecord:
+    def test_defaults(self):
+        rec = TraceRecord(pc=0x1000)
+        assert rec.num_instrs == 1
+        assert rec.loads == ()
+        assert rec.stores == ()
+
+    def test_immutable(self):
+        rec = TraceRecord(pc=0x1000, num_instrs=4, loads=(0x2000,))
+        with pytest.raises(AttributeError):
+            rec.pc = 0

@@ -1,0 +1,116 @@
+"""Unit tests for xPTP (Figure 6) and the PTP baseline."""
+
+from repro.cache.line import CacheLine
+from repro.common.types import AccessType, MemoryRequest, RequestType
+from repro.replacement.ptp import PTPPolicy
+from repro.replacement.xptp import XPTPPolicy
+
+
+def demand():
+    return MemoryRequest(address=0, req_type=RequestType.LOAD)
+
+
+def fill_set(policy, ls, data_pte_ways=()):
+    for way, line in enumerate(ls):
+        line.valid = True
+        if way in data_pte_ways:
+            line.is_pte = True
+            line.translation_type = AccessType.DATA
+        policy.on_fill(0, way, ls, demand())
+
+
+class TestXPTPVictim:
+    def test_plain_lru_when_lru_not_data_pte(self):
+        policy = XPTPPolicy(1, 4, k=2)
+        ls = [CacheLine() for _ in range(4)]
+        fill_set(policy, ls)
+        # Fill order 0,1,2,3 -> LRU is way 0.
+        assert policy.victim(0, ls, demand()) == 0
+
+    def test_alt_victim_skips_data_pte_at_lru(self):
+        policy = XPTPPolicy(1, 4, k=2)
+        ls = [CacheLine() for _ in range(4)]
+        fill_set(policy, ls, data_pte_ways={0})
+        # LRU (way 0) holds a data PTE; alternative is way 1 at height 1 < K.
+        assert policy.victim(0, ls, demand()) == 1
+        assert policy.protected_evictions_avoided == 1
+
+    def test_step_c_reverts_to_lru_when_alt_too_high(self):
+        # Ways 0,1,2 are data PTEs; the first non-PTE (way 3) sits at height
+        # 3 >= K=2, so the plain LRU victim is evicted despite being a PTE.
+        policy = XPTPPolicy(1, 4, k=2)
+        ls = [CacheLine() for _ in range(4)]
+        fill_set(policy, ls, data_pte_ways={0, 1, 2})
+        assert policy.victim(0, ls, demand()) == 0
+
+    def test_all_data_pte_falls_back_to_lru(self):
+        policy = XPTPPolicy(1, 4, k=4)
+        ls = [CacheLine() for _ in range(4)]
+        fill_set(policy, ls, data_pte_ways={0, 1, 2, 3})
+        assert policy.victim(0, ls, demand()) == 0
+
+    def test_instruction_pte_not_protected(self):
+        policy = XPTPPolicy(1, 4, k=4)
+        ls = [CacheLine() for _ in range(4)]
+        fill_set(policy, ls)
+        ls[0].is_pte = True
+        ls[0].translation_type = AccessType.INSTRUCTION
+        assert policy.victim(0, ls, demand()) == 0
+
+    def test_disabled_degenerates_to_lru(self):
+        # Section 4.3.1: with steps a-d omitted, xPTP *is* LRU.
+        policy = XPTPPolicy(1, 4, k=4)
+        ls = [CacheLine() for _ in range(4)]
+        fill_set(policy, ls, data_pte_ways={0})
+        policy.enabled = False
+        assert policy.victim(0, ls, demand()) == 0
+
+    def test_k_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            XPTPPolicy(1, 4, k=0)
+
+
+class TestPTP:
+    def test_protects_pte_within_budget(self):
+        policy = PTPPolicy(1, 8)  # reserved_ways = 3
+        ls = [CacheLine() for _ in range(8)]
+        for way, line in enumerate(ls):
+            line.valid = True
+            if way < 2:
+                line.is_pte = True
+                line.translation_type = AccessType.DATA
+            policy.on_fill(0, way, ls, demand())
+        # LRU is way 0 (a PTE) but only 2 PTEs <= budget 3: skip to way 2.
+        assert policy.victim(0, ls, demand()) == 2
+
+    def test_over_budget_reverts_to_lru(self):
+        policy = PTPPolicy(1, 8)
+        ls = [CacheLine() for _ in range(8)]
+        for way, line in enumerate(ls):
+            line.valid = True
+            if way < 5:  # 5 PTEs > budget 3
+                line.is_pte = True
+            policy.on_fill(0, way, ls, demand())
+        assert policy.victim(0, ls, demand()) == 0
+
+    def test_protects_instruction_pte_too(self):
+        # PTP is type-oblivious: instruction PTEs also protected.
+        policy = PTPPolicy(1, 8)
+        ls = [CacheLine() for _ in range(8)]
+        for way, line in enumerate(ls):
+            line.valid = True
+            policy.on_fill(0, way, ls, demand())
+        ls[0].is_pte = True
+        ls[0].translation_type = AccessType.INSTRUCTION
+        assert policy.victim(0, ls, demand()) == 1
+
+    def test_all_pte_falls_back_to_lru(self):
+        policy = PTPPolicy(1, 4)  # reserved 1
+        ls = [CacheLine() for _ in range(4)]
+        for way, line in enumerate(ls):
+            line.valid = True
+            line.is_pte = True
+            policy.on_fill(0, way, ls, demand())
+        assert policy.victim(0, ls, demand()) == 0

@@ -1,0 +1,92 @@
+"""Workload/model tuning harness (development tool, not part of the library)."""
+import sys
+import time
+
+from repro.common.params import scaled_config
+from repro import simulate, ServerWorkload
+
+POLICIES = [
+    ("lru", dict()),
+    ("itp", dict(stlb="itp")),
+    ("itp+xptp", dict(stlb="itp", l2c="xptp")),
+    ("tdrrip", dict(l2c="tdrrip")),
+    ("ptp", dict(l2c="ptp")),
+    ("chirp", dict(stlb="chirp")),
+]
+
+
+def run(tag, wl_kw, warmup=100_000, measure=300_000, base=None):
+    base = base or scaled_config()
+    wl = ServerWorkload("tune", seed=1, **wl_kw)
+    res = {}
+    t0 = time.time()
+    for name, pol in POLICIES:
+        cfg = base.with_policies(**pol)
+        r = simulate(cfg, wl, warmup, measure)
+        res[name] = r
+        iw = r.get("ptw.instr_walk_cycles") / max(1, r.get("ptw.instr_walks"))
+        dw = r.get("ptw.data_walk_cycles") / max(1, r.get("ptw.data_walks"))
+        print(
+            "%-9s ipc=%.4f stlb(i/d)=%.2f/%.2f iwalk=%.0f dwalk=%.0f itlb=%.1f "
+            "l1i=%.1f l2c=%.1f l2c_dt=%.2f llc=%.1f" % (
+                name, r.ipc, r.get("stlb.impki"), r.get("stlb.dmpki"), iw, dw,
+                r.get("itlb.mpki"), r.get("l1i.mpki"), r.get("l2c.mpki"),
+                r.get("l2c.dtmpki"), r.get("llc.mpki"),
+            )
+        )
+    b = res["lru"].ipc
+    print(tag, {n: round(100 * (r.ipc / b - 1), 2) for n, r in res.items()},
+          "%.0fs" % (time.time() - t0))
+    return res
+
+
+if __name__ == "__main__":
+    variants = {
+        "A": dict(code_pages=640, zipf_alpha=1.05, data_pages=12000, hot_data_pages=256,
+                  hot_zipf_alpha=1.1, lines_per_hot_page=4, local_pages=512,
+                  warm_pages=3000, warm_fraction=0.05, hot_fraction=0.7,
+                  load_probability=0.35, loop_probability=0.5),
+        "B": dict(code_pages=1024, zipf_alpha=1.0, data_pages=12000, hot_data_pages=256,
+                  hot_zipf_alpha=1.1, lines_per_hot_page=4, local_pages=512,
+                  warm_pages=3000, warm_fraction=0.05, hot_fraction=0.7,
+                  load_probability=0.35, loop_probability=0.5),
+        "C": dict(code_pages=896, zipf_alpha=1.1, data_pages=12000, hot_data_pages=256,
+                  hot_zipf_alpha=1.2, lines_per_hot_page=4, local_pages=512,
+                  warm_pages=3000, warm_fraction=0.05, hot_fraction=0.72,
+                  load_probability=0.35, loop_probability=0.5),
+        "D": dict(code_pages=896, zipf_alpha=1.1, data_pages=12000, hot_data_pages=256,
+                  hot_zipf_alpha=1.2, lines_per_hot_page=4, local_pages=512,
+                  warm_pages=3000, warm_fraction=0.02, hot_fraction=0.74,
+                  load_probability=0.35, loop_probability=0.5),
+        "E": dict(code_pages=640, zipf_alpha=1.05, data_pages=12000, hot_data_pages=256,
+                  hot_zipf_alpha=1.2, lines_per_hot_page=4, local_pages=512,
+                  warm_pages=3000, warm_fraction=0.02, hot_fraction=0.74,
+                  load_probability=0.35, loop_probability=0.5),
+        "F": dict(code_pages=640, zipf_alpha=1.05, data_pages=12000, hot_data_pages=192,
+                  hot_zipf_alpha=1.4, lines_per_hot_page=4, local_pages=128,
+                  warm_pages=3000, warm_fraction=0.02, hot_fraction=0.74,
+                  load_probability=0.35, loop_probability=0.5),
+        "G": dict(code_pages=640, zipf_alpha=1.05, data_pages=12000, hot_data_pages=192,
+                  hot_zipf_alpha=1.4, lines_per_hot_page=4, local_pages=128,
+                  warm_pages=3000, warm_fraction=0.02, hot_fraction=0.74,
+                  load_probability=0.35, loop_probability=0.5,
+                  page_reuse_probability=0.8),
+        "H": dict(code_pages=640, zipf_alpha=1.05, data_pages=16000, hot_data_pages=192,
+                  hot_zipf_alpha=1.4, lines_per_hot_page=8, local_pages=128,
+                  warm_pages=8000, warm_fraction=0.05, hot_fraction=0.71,
+                  load_probability=0.35, loop_probability=0.5,
+                  page_reuse_probability=0.8),
+        "I": dict(code_pages=640, zipf_alpha=1.05, data_pages=24000, hot_data_pages=192,
+                  hot_zipf_alpha=1.4, lines_per_hot_page=8, local_pages=128,
+                  warm_pages=16000, warm_fraction=0.08, hot_fraction=0.68,
+                  load_probability=0.35, loop_probability=0.5,
+                  page_reuse_probability=0.8),
+        "J": dict(code_pages=640, zipf_alpha=1.05, data_pages=16000, hot_data_pages=192,
+                  hot_zipf_alpha=1.4, lines_per_hot_page=4, local_pages=128,
+                  warm_pages=4800, warm_fraction=0.06, hot_fraction=0.70,
+                  load_probability=0.35, loop_probability=0.5,
+                  page_reuse_probability=0.8),
+    }
+    for tag in sys.argv[1:] or list(variants):
+        print("=== variant", tag)
+        run(tag, variants[tag])
