@@ -58,6 +58,13 @@ class SetAssociativeCache:
         self._tag_maps: List[dict] = [dict() for _ in range(self.num_sets)]
         self.mshrs = MSHRFile(config.mshr_entries)
 
+    def reset_stats(self) -> None:
+        """Clear counters that sit outside :class:`LevelStats` (MSHRs, policy)."""
+        self.mshrs.reset_stats()
+        reset = getattr(self.policy, "reset_stats", None)
+        if reset is not None:
+            reset()
+
     # ------------------------------------------------------------------ #
     # Lookup helpers
     # ------------------------------------------------------------------ #

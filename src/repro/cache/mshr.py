@@ -44,6 +44,16 @@ class MSHRFile:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def reset_stats(self) -> None:
+        """Clear event counters at the warmup/measurement boundary.
+
+        Outstanding entries are state, not statistics, so they survive the
+        reset (their Type bits must still reach in-flight fills).
+        """
+        self.allocations = 0
+        self.merges = 0
+        self.full_events = 0
+
     def lookup(self, block_address: int) -> Optional[MSHREntry]:
         return self._entries.get(block_address)
 

@@ -8,6 +8,7 @@ Examples::
 
     python -m repro --techniques lru itp itp+xptp --workload server --seed 3
     python -m repro --workload spec --measure 100000
+    python -m repro --techniques lru itp --workers 4 --cache-dir .repro-cache
     python -m repro --list
     python -m repro --describe
 """
@@ -15,12 +16,13 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List
 
 from .common.energy import energy_report
 from .common.params import SystemConfig, scaled_config
-from .core.simulator import simulate
+from .experiments.parallel import ParallelRunner, SimJob
 from .experiments.reporting import format_table
 from .experiments.runner import MEASURE, POLICY_MATRIX, WARMUP, config_for
 from .workloads.phased import PhasedWorkload
@@ -88,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="percent of the footprint on 2MB pages (Section 6.5)",
     )
     parser.add_argument("--energy", action="store_true", help="include pJ/instruction")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the technique sweep (default: all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="reuse simulation results cached under DIR (created if missing)",
+    )
     parser.add_argument("--list", action="store_true", help="list techniques and exit")
     parser.add_argument("--describe", action="store_true",
                         help="print the simulated system configuration and exit")
@@ -118,15 +128,18 @@ def main(argv: List[str] = None) -> int:
                "stlb_miss_lat", "l2c_dtmpki", "llc_mpki"]
     if args.energy:
         headers.append("pj_per_instr")
+    runner = ParallelRunner(
+        workers=args.workers if args.workers is not None else os.cpu_count() or 1,
+        cache_dir=args.cache_dir,
+        progress=True,
+    )
+    results = runner.run(
+        SimJob(config_for(t), (workload,), args.warmup, args.measure, label=t)
+        for t in args.techniques
+    )
     rows = []
-    baseline_ipc = None
-    for technique in args.techniques:
-        result = simulate(
-            config_for(technique), workload, args.warmup, args.measure,
-            config_label=technique,
-        )
-        if baseline_ipc is None:
-            baseline_ipc = result.ipc
+    baseline_ipc = results[0].ipc
+    for technique, result in zip(args.techniques, results):
         row = [
             technique,
             result.ipc,
@@ -140,7 +153,6 @@ def main(argv: List[str] = None) -> int:
         if args.energy:
             row.append(energy_report(result.stats).pj_per_instruction)
         rows.append(row)
-        print(f"finished {technique}", file=sys.stderr)
     print(format_table(headers, rows))
     print(f"(speedup vs first technique: {args.techniques[0]}; "
           f"workload={workload.name}, {args.measure} measured instructions)")

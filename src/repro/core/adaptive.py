@@ -47,17 +47,19 @@ class AdaptiveXPTPController:
         if not self.active:
             return
         self._window_instructions += count
-        if self._window_instructions < self.config.window_instructions:
-            return
-        self._window_instructions = 0
-        misses = self.mmu.take_stlb_miss_events()
-        enable = misses > self.config.t1_misses
-        self.windows_total += 1
-        if enable:
-            self.windows_enabled += 1
-        if enable != self.xptp_policy.enabled:
-            self.switches += 1
-            self.xptp_policy.enabled = enable
+        # Carry the overshoot across windows: a multi-instruction record can
+        # land past the boundary, and dropping the remainder would let every
+        # window drift beyond the architected 1000 committed instructions.
+        while self._window_instructions >= self.config.window_instructions:
+            self._window_instructions -= self.config.window_instructions
+            misses = self.mmu.take_stlb_miss_events()
+            enable = misses > self.config.t1_misses
+            self.windows_total += 1
+            if enable:
+                self.windows_enabled += 1
+            if enable != self.xptp_policy.enabled:
+                self.switches += 1
+                self.xptp_policy.enabled = enable
 
     def reset_stats(self) -> None:
         """Clear window counters (warmup/measurement boundary)."""

@@ -108,6 +108,23 @@ class MulticoreSystem:
             self.cores.append(core)
             self.adaptives.append(adaptive)
 
+    def reset_stats(self) -> None:
+        """Reset all statistics at the warmup/measurement boundary.
+
+        Mirrors :meth:`repro.core.system.System.reset_stats`: SimStats plus
+        the structure-owned counters of every core slice and shared level.
+        """
+        self.stats.reset()
+        for adaptive in self.adaptives:
+            adaptive.reset_stats()
+        for core in self.cores:
+            core.system.mmu.reset_stats()
+        for core_slice in self.slices:
+            core_slice.l1i.reset_stats()
+            core_slice.l1d.reset_stats()
+            core_slice.l2c.reset_stats()
+        self.llc.reset_stats()
+
     def _size_policy(self, vaddr: int) -> PageSize:
         index = vaddr >> THREAD_TAG_SHIFT
         if index >= len(self.workloads):
@@ -154,9 +171,7 @@ def simulate_multicore(
 
     while stats.instructions < warmup_instructions:
         round_robin()
-    stats.reset()
-    for adaptive in system.adaptives:
-        adaptive.reset_stats()
+    system.reset_stats()
     for index in range(len(core_cycles)):
         core_cycles[index] = 0.0
 

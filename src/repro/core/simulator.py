@@ -63,6 +63,26 @@ def _export_adaptive(system: System, stats: SimStats) -> None:
     stats.counters["adaptive.switches"] = system.adaptive.switches
 
 
+def _export_structures(system: System, stats: SimStats) -> None:
+    """Surface structure-owned counters (xPTP, MSHRs) in the metric report.
+
+    These live on the hardware objects rather than in :class:`SimStats`, so
+    they are cleared by :meth:`System.reset_stats` at the warmup boundary and
+    exported here at the end of the measurement window.
+    """
+    xptp = system.xptp_policy
+    if xptp is not None:
+        stats.counters["xptp.protected_evictions_avoided"] = (
+            xptp.protected_evictions_avoided
+        )
+    for cache in (system.l1i, system.l1d, system.l2c, system.llc):
+        key = cache.config.name.lower()
+        stats.counters[f"{key}.mshr_allocations"] = cache.mshrs.allocations
+        stats.counters[f"{key}.mshr_merges"] = cache.mshrs.merges
+        stats.counters[f"{key}.mshr_full_events"] = cache.mshrs.full_events
+    stats.counters["stlb.mshr_allocations"] = system.mmu.stlb_mshrs.allocations
+
+
 def _tagged_size_policy(workloads: Sequence[SyntheticWorkload]):
     """Dispatch page-size decisions by the SMT thread tag in high bits."""
     mask = (1 << THREAD_TAG_SHIFT) - 1
@@ -91,14 +111,14 @@ def simulate(
 
     while stats.instructions < warmup_instructions:
         core.execute(next(stream))
-    stats.reset()
-    system.adaptive.reset_stats()
+    system.reset_stats()
 
     cycles = 0.0
     while stats.instructions < measure_instructions:
         cycles += core.execute(next(stream))
     stats.cycles = cycles
     _export_adaptive(system, stats)
+    _export_structures(system, stats)
     return SimulationResult(workload.name, config_label, stats)
 
 
@@ -129,13 +149,13 @@ def simulate_smt(
 
     while stats.instructions < warmup_instructions:
         step()
-    stats.reset()
-    system.adaptive.reset_stats()
+    system.reset_stats()
 
     cycles = 0.0
     while stats.instructions < measure_instructions:
         cycles += step()
     stats.cycles = cycles
     _export_adaptive(system, stats)
+    _export_structures(system, stats)
     name = "+".join(w.name for w in workloads)
     return SimulationResult(name, config_label, stats)

@@ -72,6 +72,22 @@ class System:
         xptp = self.l2c.policy if isinstance(self.l2c.policy, XPTPPolicy) else None
         self.adaptive = AdaptiveXPTPController(config.adaptive, self.mmu, xptp)
 
+    def reset_stats(self) -> None:
+        """Reset every statistic at the warmup/measurement boundary.
+
+        Covers :class:`SimStats` plus the counters that live on hardware
+        structures themselves (MSHR files, xPTP's protected-eviction count,
+        the adaptive controller's window counters) so warmup activity never
+        leaks into measurement-window numbers.  Microarchitectural *state*
+        (cache contents, recency stacks, outstanding MSHR entries) is kept —
+        warming that state is the point of the warmup window.
+        """
+        self.stats.reset()
+        self.adaptive.reset_stats()
+        self.mmu.reset_stats()
+        for cache in (self.l1i, self.l1d, self.l2c, self.llc):
+            cache.reset_stats()
+
     @property
     def xptp_policy(self) -> Optional[XPTPPolicy]:
         policy = self.l2c.policy

@@ -25,6 +25,17 @@ from . import (
     fig13_large_pages,
     fig14_split_stlb,
 )
+from .parallel import (
+    ParallelRunner,
+    ResultCache,
+    SimJob,
+    SimulationError,
+    configure_default_runner,
+    get_default_runner,
+    job_key,
+    run_jobs,
+    set_default_runner,
+)
 from .reporting import FigureResult, format_figure, format_table
 from .runner import (
     MEASURE,
@@ -42,6 +53,10 @@ __all__ = [
     "FigureResult",
     "MEASURE",
     "POLICY_MATRIX",
+    "ParallelRunner",
+    "ResultCache",
+    "SimJob",
+    "SimulationError",
     "WARMUP",
     "ablation_adaptive",
     "ablation_params",
@@ -49,6 +64,11 @@ __all__ = [
     "compare_single_thread",
     "compare_smt",
     "config_for",
+    "configure_default_runner",
+    "get_default_runner",
+    "job_key",
+    "run_jobs",
+    "set_default_runner",
     "fig01_itlb_cost",
     "fig02_stlb_impki",
     "fig03_probabilistic",

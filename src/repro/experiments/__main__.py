@@ -1,13 +1,16 @@
-"""CLI entry point: ``python -m repro.experiments [--csv-dir DIR] [figure ...]``.
+"""CLI entry point: ``python -m repro.experiments [options] [figure ...]``.
 
 Figure names: fig01, fig02, fig03, fig04, fig08, fig09, fig10, fig11,
 fig12, fig13, fig14, ablation_params, ablation_adaptive,
 ext_stlb_prefetch, or ``all``.  With ``--csv-dir DIR`` each reproduced
-figure is also written to ``DIR/<figure>.csv``.
+figure is also written to ``DIR/<figure>.csv``.  ``--workers N`` fans
+the simulations of each figure over N processes (default: all cores);
+``--cache-dir DIR`` reuses previously computed simulation results.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 
@@ -28,6 +31,7 @@ from . import (
     fig14_split_stlb,
 )
 from .export import write_csv
+from .parallel import ParallelRunner, set_default_runner
 from .reporting import format_figure
 
 
@@ -56,17 +60,36 @@ RUNNERS = {
 }
 
 
+class _OptionError(Exception):
+    pass
+
+
+def _take_option(argv, name):
+    """Pop ``name VALUE`` from argv, returning VALUE (or None if absent)."""
+    if name not in argv:
+        return None
+    index = argv.index(name)
+    try:
+        value = argv[index + 1]
+    except IndexError:
+        raise _OptionError(f"{name} needs an argument") from None
+    del argv[index:index + 2]
+    return value
+
+
 def main(argv) -> int:
     argv = list(argv)
-    csv_dir = None
-    if "--csv-dir" in argv:
-        index = argv.index("--csv-dir")
-        try:
-            csv_dir = argv[index + 1]
-        except IndexError:
-            print("--csv-dir needs a directory argument", file=sys.stderr)
-            return 2
-        del argv[index:index + 2]
+    try:
+        csv_dir = _take_option(argv, "--csv-dir")
+        workers = _take_option(argv, "--workers")
+        cache_dir = _take_option(argv, "--cache-dir")
+        if workers is None:
+            workers = os.cpu_count() or 1
+        elif not (workers.isdigit() or workers == "auto"):
+            raise _OptionError(f"--workers takes a count or 'auto', got {workers!r}")
+    except _OptionError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     names = argv or ["all"]
     if names == ["all"]:
         names = list(RUNNERS)
@@ -75,15 +98,20 @@ def main(argv) -> int:
         print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(RUNNERS)} or 'all'", file=sys.stderr)
         return 2
-    for name in names:
-        start = time.time()
-        for figure in _results(RUNNERS[name]()):
-            print(format_figure(figure))
-            print()
-            if csv_dir is not None:
-                path = write_csv(figure, csv_dir)
-                print(f"[wrote {path}]")
-        print(f"[{name}: {time.time() - start:.0f}s]\n")
+    runner = ParallelRunner(workers=workers, cache_dir=cache_dir, progress=True)
+    previous = set_default_runner(runner)
+    try:
+        for name in names:
+            start = time.time()
+            for figure in _results(RUNNERS[name]()):
+                print(format_figure(figure))
+                print()
+                if csv_dir is not None:
+                    path = write_csv(figure, csv_dir)
+                    print(f"[wrote {path}]")
+            print(f"[{name}: {time.time() - start:.0f}s]\n")
+    finally:
+        set_default_runner(previous)
     return 0
 
 

@@ -13,11 +13,11 @@ reverts the L2C to LRU during quiet phases.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..common.params import AdaptiveConfig, scaled_config
-from ..core.simulator import simulate
 from ..workloads.phased import PhasedWorkload
+from .parallel import ParallelRunner, SimJob, run_jobs
 from .reporting import FigureResult
 from .runner import WARMUP
 
@@ -29,6 +29,7 @@ def run(
     warmup: int = WARMUP,
     measure: int = 300_000,
     phase_records: int = 12_000,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Ablation adaptive",
@@ -38,21 +39,25 @@ def run(
     )
     wl = PhasedWorkload("phased", seed=7, phase_records=phase_records)
     base = scaled_config()
-    baseline = simulate(base, wl, warmup, measure).ipc
-
     always_on = replace(
         base.with_policies(stlb="itp", l2c="xptp"),
         adaptive=AdaptiveConfig(enabled=False),
     )
-    r = simulate(always_on, wl, warmup, measure)
-    result.add_row("always-on", 100.0 * (r.ipc / baseline - 1.0), 100.0)
-
+    jobs = [
+        SimJob(base, (wl,), warmup, measure, label="lru"),
+        SimJob(always_on, (wl,), warmup, measure, label="always-on"),
+    ]
     for t1 in t1_values:
         cfg = replace(
             base.with_policies(stlb="itp", l2c="xptp"),
             adaptive=AdaptiveConfig(enabled=True, t1_misses=t1),
         )
-        r = simulate(cfg, wl, warmup, measure)
+        jobs.append(SimJob(cfg, (wl,), warmup, measure, label=f"adaptive T1={t1}"))
+
+    results = run_jobs(jobs, runner)
+    baseline = results[0].ipc
+    result.add_row("always-on", 100.0 * (results[1].ipc / baseline - 1.0), 100.0)
+    for t1, r in zip(t1_values, results[2:]):
         enabled_pct = 100.0 * r.get("adaptive.windows_enabled", 0.0) / max(
             1.0, r.get("adaptive.windows_total", 1.0)
         )

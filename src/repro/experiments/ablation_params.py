@@ -8,11 +8,11 @@ sweep on the scaled system.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..common.params import ITPConfig, XPTPConfig, scaled_config
-from ..core.simulator import simulate
 from ..workloads.server import server_suite
+from .parallel import ParallelRunner, SimJob, run_jobs
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP, geomean
 
@@ -25,6 +25,7 @@ def run_nm(
     server_count: int = 2,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Ablation N/M",
@@ -34,15 +35,22 @@ def run_nm(
     )
     base = scaled_config()
     workloads = server_suite(server_count)
-    baseline = {wl.name: simulate(base, wl, warmup, measure).ipc for wl in workloads}
+    jobs = [SimJob(base, (wl,), warmup, measure, label="lru") for wl in workloads]
     for n, m in nm_values:
         cfg = replace(
             base.with_policies(stlb="itp"),
             itp=ITPConfig(insert_depth_n=n, data_promote_m=m),
         )
+        jobs.extend(
+            SimJob(cfg, (wl,), warmup, measure, label=f"itp N={n} M={m}")
+            for wl in workloads
+        )
+    results = iter(run_jobs(jobs, runner))
+    baseline = {wl.name: next(results).ipc for wl in workloads}
+    for n, m in nm_values:
         ratios, impki, dmpki = [], [], []
         for wl in workloads:
-            r = simulate(cfg, wl, warmup, measure)
+            r = next(results)
             ratios.append(r.ipc / baseline[wl.name])
             impki.append(r.get("stlb.impki"))
             dmpki.append(r.get("stlb.dmpki"))
@@ -58,6 +66,7 @@ def run_k(
     server_count: int = 2,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Ablation K",
@@ -67,14 +76,21 @@ def run_k(
     )
     base = scaled_config()
     workloads = server_suite(server_count)
-    baseline = {wl.name: simulate(base, wl, warmup, measure).ipc for wl in workloads}
+    jobs = [SimJob(base, (wl,), warmup, measure, label="lru") for wl in workloads]
     for k in k_values:
         cfg = replace(
             base.with_policies(stlb="itp", l2c="xptp"), xptp=XPTPConfig(k=k)
         )
+        jobs.extend(
+            SimJob(cfg, (wl,), warmup, measure, label=f"itp+xptp K={k}")
+            for wl in workloads
+        )
+    results = iter(run_jobs(jobs, runner))
+    baseline = {wl.name: next(results).ipc for wl in workloads}
+    for k in k_values:
         ratios, dtmpki = [], []
         for wl in workloads:
-            r = simulate(cfg, wl, warmup, measure)
+            r = next(results)
             ratios.append(r.ipc / baseline[wl.name])
             dtmpki.append(r.get("l2c.dtmpki"))
         result.add_row(

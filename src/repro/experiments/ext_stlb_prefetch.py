@@ -8,11 +8,11 @@ baseline and on top of iTP+xPTP.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..common.params import scaled_config
-from ..core.simulator import simulate
 from ..workloads.server import server_suite
+from .parallel import ParallelRunner, SimJob, run_jobs
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP, geomean
 
@@ -30,6 +30,7 @@ def run(
     server_count: int = 3,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Extension: STLB prefetching",
@@ -42,12 +43,18 @@ def run(
     )
     base = scaled_config()
     workloads = server_suite(server_count)
-    baseline = {wl.name: simulate(base, wl, warmup, measure).ipc for wl in workloads}
+    jobs = [SimJob(base, (wl,), warmup, measure, label="lru") for wl in workloads]
     for name, policies, prefetcher in schemes:
         cfg = replace(base.with_policies(**policies), stlb_prefetcher=prefetcher)
+        jobs.extend(
+            SimJob(cfg, (wl,), warmup, measure, label=name) for wl in workloads
+        )
+    results = iter(run_jobs(jobs, runner))
+    baseline = {wl.name: next(results).ipc for wl in workloads}
+    for name, policies, prefetcher in schemes:
         ratios, mpki, fills = [], [], []
         for wl in workloads:
-            r = simulate(cfg, wl, warmup, measure)
+            r = next(results)
             ratios.append(r.ipc / baseline[wl.name])
             mpki.append(r.get("stlb.mpki"))
             fills.append(1000.0 * r.get("stlb.prefetch_fills") / r.get("instructions"))

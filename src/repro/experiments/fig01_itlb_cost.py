@@ -10,12 +10,12 @@ in instruction translation per workload class.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..common.params import TLBConfig, scaled_config
-from ..core.simulator import simulate
 from ..workloads.server import server_suite
 from ..workloads.speclike import spec_suite
+from .parallel import ParallelRunner, SimJob, run_jobs
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP
 
@@ -29,6 +29,7 @@ def run(
     spec_count: int = 2,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 1",
@@ -40,13 +41,22 @@ def run(
         ("server", server_suite(server_count)),
         ("spec", spec_suite(spec_count)),
     ]
+    # Fan the full size x suite sweep out as one batch of jobs.
+    jobs = []
     for scaled_entries, full_equiv in itlb_sizes:
         itlb = TLBConfig("ITLB", entries=scaled_entries, associativity=4, latency=1)
         cfg = replace(scaled_config(), itlb=itlb)
         for label, workloads in suites:
+            jobs.extend(
+                SimJob(cfg, (wl,), warmup, measure, label=f"itlb{scaled_entries}")
+                for wl in workloads
+            )
+    results = iter(run_jobs(jobs, runner))
+    for scaled_entries, full_equiv in itlb_sizes:
+        for label, workloads in suites:
             fractions = []
-            for wl in workloads:
-                r = simulate(cfg, wl, warmup, measure)
+            for _ in workloads:
+                r = next(results)
                 fractions.append(
                     100.0 * r.get("translation.instr_cycles") / max(1.0, r.get("cycles"))
                 )

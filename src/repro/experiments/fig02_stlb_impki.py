@@ -8,10 +8,12 @@ system.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..common.params import scaled_config
-from ..core.simulator import simulate
 from ..workloads.server import server_suite
 from ..workloads.speclike import spec_suite
+from .parallel import ParallelRunner, SimJob, run_jobs
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP
 
@@ -21,6 +23,7 @@ def run(
     spec_count: int = 3,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 2",
@@ -29,14 +32,20 @@ def run(
         notes=["paper: server up to 0.9 iMPKI, SPEC negligible"],
     )
     cfg = scaled_config()
-    for label, workloads in (
+    suites = [
         ("server", server_suite(server_count)),
         ("spec", spec_suite(spec_count)),
-    ):
+    ]
+    jobs = [
+        SimJob(cfg, (wl,), warmup, measure, label=label)
+        for label, workloads in suites
+        for wl in workloads
+    ]
+    results = iter(run_jobs(jobs, runner))
+    for label, workloads in suites:
         values = []
         for wl in workloads:
-            r = simulate(cfg, wl, warmup, measure)
-            impki = r.get("stlb.impki")
+            impki = next(results).get("stlb.impki")
             values.append(impki)
             result.add_row(label, wl.name, impki)
         result.add_row(label, "MEAN", sum(values) / len(values))

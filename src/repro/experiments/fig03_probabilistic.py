@@ -9,11 +9,11 @@ exactly the asymmetry iTP exploits.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..common.params import scaled_config
-from ..core.simulator import simulate
 from ..workloads.server import server_suite
+from .parallel import ParallelRunner, SimJob, run_jobs
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP, geomean
 
@@ -25,6 +25,7 @@ def run(
     server_count: int = 4,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 3",
@@ -34,15 +35,20 @@ def run(
     )
     base = scaled_config()
     workloads = server_suite(server_count)
-    baseline = {
-        wl.name: simulate(base, wl, warmup, measure).ipc for wl in workloads
-    }
+    # Baseline and every P value go out as one batch.
+    jobs = [SimJob(base, (wl,), warmup, measure, label="lru") for wl in workloads]
     for p in p_values:
         cfg = replace(base.with_policies(stlb="problru"), problru_p=p)
+        jobs.extend(
+            SimJob(cfg, (wl,), warmup, measure, label=f"problru_p{p}")
+            for wl in workloads
+        )
+    results = iter(run_jobs(jobs, runner))
+    baseline = {wl.name: next(results).ipc for wl in workloads}
+    for p in p_values:
         ratios = []
         for wl in workloads:
-            r = simulate(cfg, wl, warmup, measure)
-            ratio = r.ipc / baseline[wl.name]
+            ratio = next(results).ipc / baseline[wl.name]
             ratios.append(ratio)
             result.add_row(p, wl.name, 100.0 * (ratio - 1.0))
         result.add_row(p, "GEOMEAN", 100.0 * (geomean(ratios) - 1.0))

@@ -10,10 +10,11 @@ which is what motivates xPTP.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Optional
 
 from ..common.params import scaled_config
-from ..core.simulator import simulate
 from ..workloads.server import server_suite
+from .parallel import ParallelRunner, SimJob, run_jobs
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP
 
@@ -22,6 +23,7 @@ def run(
     server_count: int = 4,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 4",
@@ -37,12 +39,19 @@ def run(
     base = scaled_config()
     keep_instr = replace(base.with_policies(stlb="problru"), problru_p=0.8)
     workloads = server_suite(server_count)
+    policies = (("LRU", base), ("KeepInstr(P=0.8)", keep_instr))
 
-    for policy_name, cfg in (("LRU", base), ("KeepInstr(P=0.8)", keep_instr)):
+    jobs = [
+        SimJob(cfg, (wl,), warmup, measure, label=policy_name)
+        for policy_name, cfg in policies
+        for wl in workloads
+    ]
+    results = iter(run_jobs(jobs, runner))
+    for policy_name, cfg in policies:
         sums = {lvl: {c: 0.0 for c in ("d", "i", "dt", "it")} for lvl in ("l2c", "llc")}
         dt_refs_pki = 0.0
         for wl in workloads:
-            r = simulate(cfg, wl, warmup, measure)
+            r = next(results)
             for lvl in ("l2c", "llc"):
                 for cat in ("d", "i", "dt", "it"):
                     sums[lvl][cat] += r.get(f"{lvl}.{cat}mpki")

@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 
 from ..workloads.mixes import smt_mixes
 from ..workloads.server import server_suite
+from .parallel import ParallelRunner
 from .reporting import FigureResult
 from .runner import (
     MEASURE,
@@ -31,9 +32,12 @@ def run_single_thread(
     server_count: int = 6,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> Comparison:
     techniques = list(techniques or POLICY_MATRIX)
-    return compare_single_thread(techniques, server_suite(server_count), None, warmup, measure)
+    return compare_single_thread(
+        techniques, server_suite(server_count), None, warmup, measure, runner=runner
+    )
 
 
 def run_smt(
@@ -41,9 +45,12 @@ def run_smt(
     per_category: int = 2,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> Comparison:
     techniques = list(techniques or POLICY_MATRIX)
-    return compare_smt(techniques, smt_mixes(per_category), None, warmup, measure)
+    return compare_smt(
+        techniques, smt_mixes(per_category), None, warmup, measure, runner=runner
+    )
 
 
 def as_figure(comparison: Comparison, figure: str, description: str) -> FigureResult:
@@ -90,6 +97,7 @@ def smt_category_breakdown(
     per_category: int = 2,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     """Geomean IPC improvement per SMT mix category (Section 5.2).
 
@@ -99,7 +107,7 @@ def smt_category_breakdown(
     """
     techniques = list(techniques or ("lru", "tdrrip", "itp", "itp+xptp"))
     mixes = smt_mixes(per_category)
-    comparison = compare_smt(techniques, mixes, None, warmup, measure)
+    comparison = compare_smt(techniques, mixes, None, warmup, measure, runner=runner)
     by_category = {}
     for mix in mixes:
         by_category.setdefault(mix.category, []).append(mix.name)
@@ -128,9 +136,10 @@ def run(
     per_category: int = 2,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> Sequence[FigureResult]:
-    single = run_single_thread(None, server_count, warmup, measure)
-    smt = run_smt(None, per_category, warmup, measure)
+    single = run_single_thread(None, server_count, warmup, measure, runner=runner)
+    smt = run_smt(None, per_category, warmup, measure, runner=runner)
     return (
         as_figure(single, "Figure 8a", "IPC improvement vs LRU, single hardware thread"),
         as_figure(smt, "Figure 8b", "IPC improvement vs LRU, two hardware threads (SMT)"),

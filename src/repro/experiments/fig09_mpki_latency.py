@@ -11,6 +11,7 @@ from typing import Optional, Sequence
 
 from ..workloads.mixes import smt_mixes
 from ..workloads.server import server_suite
+from .parallel import ParallelRunner
 from .reporting import FigureResult
 from .runner import (
     MEASURE,
@@ -58,12 +59,15 @@ def run(
     per_category: int = 1,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> Sequence[FigureResult]:
     techniques = list(techniques or POLICY_MATRIX)
     single = compare_single_thread(
-        techniques, server_suite(server_count), None, warmup, measure
+        techniques, server_suite(server_count), None, warmup, measure, runner=runner
     )
-    smt = compare_smt(techniques, smt_mixes(per_category), None, warmup, measure)
+    smt = compare_smt(
+        techniques, smt_mixes(per_category), None, warmup, measure, runner=runner
+    )
     return (
         as_figure(single, "Figure 9 (1T)", "MPKI / avg miss latency per level, single thread"),
         as_figure(smt, "Figure 9 (2T)", "MPKI / avg miss latency per level, SMT"),

@@ -6,8 +6,11 @@ while data STLB MPKI rises — the deliberate trade Section 4.1 makes.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..workloads.mixes import smt_mixes
 from ..workloads.server import server_suite
+from .parallel import ParallelRunner
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP, compare_single_thread, compare_smt
 
@@ -19,6 +22,7 @@ def run(
     per_category: int = 1,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 10",
@@ -27,9 +31,11 @@ def run(
         notes=["paper: iTP reduces iMPKI and increases dMPKI in both scenarios"],
     )
     single = compare_single_thread(
-        TECHNIQUES, server_suite(server_count), None, warmup, measure
+        TECHNIQUES, server_suite(server_count), None, warmup, measure, runner=runner
     )
-    smt = compare_smt(TECHNIQUES, smt_mixes(per_category), None, warmup, measure)
+    smt = compare_smt(
+        TECHNIQUES, smt_mixes(per_category), None, warmup, measure, runner=runner
+    )
     for scenario, comparison in (("1T", single), ("2T", smt)):
         for technique in TECHNIQUES:
             result.add_row(

@@ -9,11 +9,12 @@ smaller with Mockingjay.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..common.params import scaled_config
 from ..workloads.mixes import smt_mixes
 from ..workloads.server import server_suite
+from .parallel import ParallelRunner
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP, compare_single_thread, compare_smt
 
@@ -27,6 +28,7 @@ def run(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     llc_policies: Sequence[str] = LLC_POLICIES,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 11",
@@ -39,9 +41,11 @@ def run(
     for llc in llc_policies:
         base = scaled_config().with_policies(llc=llc)
         single = compare_single_thread(
-            TECHNIQUES, server_suite(server_count), base, warmup, measure
+            TECHNIQUES, server_suite(server_count), base, warmup, measure, runner=runner
         )
-        smt = compare_smt(TECHNIQUES, smt_mixes(per_category), base, warmup, measure)
+        smt = compare_smt(
+            TECHNIQUES, smt_mixes(per_category), base, warmup, measure, runner=runner
+        )
         for scenario, comparison in (("1T", single), ("2T", smt)):
             for technique in ("itp", "itp+xptp"):
                 result.add_row(

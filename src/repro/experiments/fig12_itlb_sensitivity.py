@@ -9,11 +9,12 @@ once the ITLB is large enough to absorb the instruction footprint
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..common.params import TLBConfig, scaled_config
 from ..workloads.mixes import smt_mixes
 from ..workloads.server import server_suite
+from .parallel import ParallelRunner
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP, compare_single_thread, compare_smt
 
@@ -28,6 +29,7 @@ def run(
     per_category: int = 1,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 12",
@@ -42,9 +44,11 @@ def run(
         itlb = TLBConfig("ITLB", entries=scaled_entries, associativity=4, latency=1)
         base = replace(scaled_config(), itlb=itlb)
         single = compare_single_thread(
-            TECHNIQUES, server_suite(server_count), base, warmup, measure
+            TECHNIQUES, server_suite(server_count), base, warmup, measure, runner=runner
         )
-        smt = compare_smt(TECHNIQUES, smt_mixes(per_category), base, warmup, measure)
+        smt = compare_smt(
+            TECHNIQUES, smt_mixes(per_category), base, warmup, measure, runner=runner
+        )
         for scenario, comparison in (("1T", single), ("2T", smt)):
             for technique in ("itp", "itp+xptp"):
                 result.add_row(

@@ -8,10 +8,11 @@ every point and still positive at 100 %.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..workloads.mixes import smt_mixes
 from ..workloads.server import server_suite
+from .parallel import ParallelRunner
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP, compare_single_thread, compare_smt
 
@@ -25,6 +26,7 @@ def run(
     per_category: int = 1,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 13",
@@ -39,12 +41,12 @@ def run(
         single = compare_single_thread(
             TECHNIQUES,
             server_suite(server_count, large_page_percent=pct),
-            None, warmup, measure,
+            None, warmup, measure, runner=runner,
         )
         smt = compare_smt(
             TECHNIQUES,
             smt_mixes(per_category, large_page_percent=pct),
-            None, warmup, measure,
+            None, warmup, measure, runner=runner,
         )
         for scenario, comparison in (("1T", single), ("2T", smt)):
             for technique in TECHNIQUES[1:]:

@@ -15,11 +15,11 @@ the 2x split design.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..common.params import TLBConfig, scaled_config
-from ..core.simulator import simulate
 from ..workloads.server import server_suite
+from .parallel import ParallelRunner, SimJob, run_jobs
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP, geomean
 
@@ -64,6 +64,7 @@ def run(
     server_count: int = 4,
     warmup: int = WARMUP,
     measure: int = MEASURE,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 14",
@@ -76,9 +77,15 @@ def run(
     )
     workloads = server_suite(server_count)
     designs = _designs(base_entries)
+    jobs = [
+        SimJob(cfg, (wl,), warmup, measure, label=label)
+        for label, cfg in designs
+        for wl in workloads
+    ]
+    results = iter(run_jobs(jobs, runner))
     rows = []
     for label, cfg in designs:
-        ipcs = {wl.name: simulate(cfg, wl, warmup, measure).ipc for wl in workloads}
+        ipcs = {wl.name: next(results).ipc for wl in workloads}
         rows.append((label, ipcs))
     baseline_ipc = rows[0][1]
     for label, ipcs in rows:

@@ -1,0 +1,374 @@
+"""Parallel experiment execution.
+
+Every figure driver ultimately runs a matrix of independent simulations —
+``simulate()`` builds a fresh :class:`repro.core.system.System` per call and
+shares no state between cells — so the matrix fans out over a
+:class:`concurrent.futures.ProcessPoolExecutor` trivially.  This module
+provides the machinery:
+
+* :class:`SimJob` — one simulation cell: a configuration, one workload (or
+  two for SMT), the warmup/measure windows and a technique label;
+* :class:`ParallelRunner` — executes a job list with ``workers`` processes,
+  returning results in job order regardless of completion order.
+  ``workers=1`` runs serially in-process (no pool, bit-identical to the
+  pre-parallel code path — CI uses it for determinism checks);
+* :class:`ResultCache` — an on-disk result store keyed by
+  ``(label, workload, warmup, measure, config-hash)`` so re-running a
+  figure driver skips completed cells;
+* a process-wide default runner configured from the environment
+  (``REPRO_WORKERS``, ``REPRO_CACHE_DIR``, ``REPRO_PROGRESS``) or from the
+  CLI flags of ``repro.cli`` / ``python -m repro.experiments``.
+
+Determinism: the simulator is seeded end to end, so a cell's result depends
+only on the job description — never on which worker ran it or in what
+order.  That is what makes both the fan-out and the cache sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..common.params import SystemConfig
+from ..core.simulator import SimulationResult, simulate, simulate_smt
+from ..workloads.base import SyntheticWorkload
+
+#: Bump to invalidate every cached result (e.g. after a simulator behaviour
+#: change that job descriptions cannot see).
+CACHE_VERSION = 2
+
+
+class SimulationError(RuntimeError):
+    """A cell of the experiment matrix failed; names the failing cell."""
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent simulation: a ``(technique, workload)`` cell.
+
+    ``workloads`` holds one workload for a single-thread run or two for an
+    SMT co-location (dispatching to :func:`simulate` / :func:`simulate_smt`).
+    """
+
+    config: SystemConfig
+    workloads: Tuple[SyntheticWorkload, ...]
+    warmup: int
+    measure: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.workloads) <= 2:
+            raise ValueError("SimJob takes one workload (1T) or two (SMT)")
+
+    @property
+    def workload_name(self) -> str:
+        return "+".join(w.name for w in self.workloads)
+
+    @property
+    def cell(self) -> str:
+        """Human-readable cell name for logs and errors."""
+        return f"{self.label or 'default'} x {self.workload_name}"
+
+
+def single(
+    config: SystemConfig,
+    workload: SyntheticWorkload,
+    warmup: int,
+    measure: int,
+    label: str = "",
+) -> SimJob:
+    """Convenience constructor for a single-thread job."""
+    return SimJob(config, (workload,), warmup, measure, label)
+
+
+def smt(
+    config: SystemConfig,
+    workloads: Sequence[SyntheticWorkload],
+    warmup: int,
+    measure: int,
+    label: str = "",
+) -> SimJob:
+    """Convenience constructor for a two-thread SMT job."""
+    return SimJob(config, tuple(workloads), warmup, measure, label)
+
+
+# --------------------------------------------------------------------- #
+# Cache keys
+# --------------------------------------------------------------------- #
+
+
+def workload_fingerprint(workload: SyntheticWorkload) -> str:
+    """Deterministic identity of a workload's generated stream.
+
+    Workload generators are pure functions of their constructor parameters
+    (all public attributes; derived state like pre-built function tables is
+    underscore-prefixed), so class + public attributes pin the trace.
+    """
+    public = sorted(
+        (k, v) for k, v in vars(workload).items() if not k.startswith("_")
+    )
+    return f"{type(workload).__module__}.{type(workload).__qualname__}{public!r}"
+
+
+def job_key(job: SimJob) -> str:
+    """Stable cache key for a job.
+
+    ``SystemConfig`` is a tree of frozen dataclasses whose ``repr`` lists
+    every field, so it serves as a canonical config hash input.
+    """
+    parts = [
+        f"cache-version={CACHE_VERSION}",
+        f"label={job.label}",
+        f"warmup={job.warmup}",
+        f"measure={job.measure}",
+        f"config={job.config!r}",
+    ]
+    parts.extend(workload_fingerprint(w) for w in job.workloads)
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk :class:`SimulationResult` store, one pickle per cell.
+
+    Writes are atomic (temp file + ``os.replace``), so concurrent workers
+    or concurrent figure drivers can share one cache directory.  Delete the
+    directory (or bump :data:`CACHE_VERSION`) to invalidate.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        path = self.path(key)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except Exception:
+            # A corrupt/truncated entry is a miss, never a crash; pickle can
+            # raise nearly anything on garbage bytes (ValueError, ImportError,
+            # UnpicklingError, ...).
+            return None
+        return result if isinstance(result, SimulationResult) else None
+
+    def store(self, key: str, result: SimulationResult) -> None:
+        path = self.path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Remove every cached result; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# --------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------- #
+
+
+def _execute(job: SimJob) -> Tuple[SimulationResult, float]:
+    """Run one cell; returns (result, wall seconds).  Must stay module-level
+    picklable — it is the function shipped to pool workers."""
+    start = time.perf_counter()
+    if len(job.workloads) == 1:
+        result = simulate(
+            job.config, job.workloads[0], job.warmup, job.measure,
+            config_label=job.label,
+        )
+    else:
+        result = simulate_smt(
+            job.config, list(job.workloads), job.warmup, job.measure,
+            config_label=job.label,
+        )
+    return result, time.perf_counter() - start
+
+
+def _env_workers() -> int:
+    value = os.environ.get("REPRO_WORKERS", "").strip()
+    if not value:
+        return 1
+    if value.lower() == "auto":
+        return os.cpu_count() or 1
+    return max(1, int(value))
+
+
+class ParallelRunner:
+    """Fans a :class:`SimJob` list out over worker processes.
+
+    * ``workers`` — process count; ``1`` (default) runs serially in-process,
+      ``None``/``"auto"`` uses every core.
+    * ``cache_dir`` — enable the on-disk result cache at this directory.
+    * ``progress`` — per-cell completion/timing lines on stderr.
+
+    ``run`` preserves job order in its result list, independent of worker
+    scheduling, so callers can zip results back onto their matrix.
+    """
+
+    def __init__(
+        self,
+        workers: Union[int, str, None] = 1,
+        cache_dir: Union[str, Path, None] = None,
+        progress: Optional[bool] = None,
+    ) -> None:
+        if workers is None or workers == "auto":
+            workers = os.cpu_count() or 1
+        self.workers = max(1, int(workers))
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        if progress is None:
+            progress = os.environ.get("REPRO_PROGRESS", "") == "1"
+        self.progress = progress
+        # Lifetime counters (tests and progress summaries read these).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.simulations = 0
+
+    # ----------------------------------------------------------------- #
+
+    def _log(self, message: str) -> None:
+        if self.progress:
+            print(f"[runner] {message}", file=sys.stderr, flush=True)
+
+    def _finish(
+        self, job: SimJob, key: Optional[str], outcome: Tuple[SimulationResult, float],
+        done: int, total: int,
+    ) -> SimulationResult:
+        result, elapsed = outcome
+        self.simulations += 1
+        if self.cache is not None and key is not None:
+            self.cache.store(key, result)
+        self._log(f"{done}/{total} {job.cell}: {elapsed:.1f}s")
+        return result
+
+    def run(self, jobs: Iterable[SimJob]) -> List[SimulationResult]:
+        """Execute all jobs; results come back in job order."""
+        jobs = list(jobs)
+        total = len(jobs)
+        results: List[Optional[SimulationResult]] = [None] * total
+        keys: List[Optional[str]] = [None] * total
+        pending: List[int] = []
+        done = 0
+
+        for index, job in enumerate(jobs):
+            if self.cache is not None:
+                keys[index] = job_key(job)
+                cached = self.cache.load(keys[index])
+                if cached is not None:
+                    self.cache_hits += 1
+                    done += 1
+                    results[index] = cached
+                    self._log(f"{done}/{total} {job.cell}: cached")
+                    continue
+                self.cache_misses += 1
+            pending.append(index)
+
+        if not pending:
+            return [r for r in results if r is not None]
+
+        if self.workers == 1 or len(pending) == 1:
+            for index in pending:
+                done += 1
+                results[index] = self._run_one(jobs[index], keys[index], done, total)
+        else:
+            pool = ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
+            try:
+                futures = {
+                    pool.submit(_execute, jobs[index]): index for index in pending
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        raise SimulationError(
+                            f"simulation failed for cell ({jobs[index].cell}): {exc}"
+                        ) from exc
+                    done += 1
+                    results[index] = self._finish(
+                        jobs[index], keys[index], future.result(), done, total
+                    )
+            finally:
+                # Cancel queued cells on failure so a bad matrix fails fast
+                # instead of draining the whole backlog first.
+                pool.shutdown(wait=True, cancel_futures=True)
+        return [r for r in results if r is not None]
+
+    def _run_one(
+        self, job: SimJob, key: Optional[str], done: int, total: int
+    ) -> SimulationResult:
+        try:
+            outcome = _execute(job)
+        except Exception as exc:
+            raise SimulationError(
+                f"simulation failed for cell ({job.cell}): {exc}"
+            ) from exc
+        return self._finish(job, key, outcome, done, total)
+
+
+# --------------------------------------------------------------------- #
+# Process-wide default runner
+# --------------------------------------------------------------------- #
+
+_default_runner: Optional[ParallelRunner] = None
+
+
+def get_default_runner() -> ParallelRunner:
+    """The runner used when an experiment API is called without one.
+
+    First use builds it from the environment: ``REPRO_WORKERS`` (a count or
+    ``auto``; default 1, keeping library calls serial and deterministic),
+    ``REPRO_CACHE_DIR`` (default: no cache) and ``REPRO_PROGRESS=1``.
+    """
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = ParallelRunner(
+            workers=_env_workers(),
+            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+        )
+    return _default_runner
+
+
+def set_default_runner(runner: Optional[ParallelRunner]) -> Optional[ParallelRunner]:
+    """Install (or, with ``None``, reset) the process-wide default runner.
+
+    Returns the previously installed runner so callers can restore it.
+    """
+    global _default_runner
+    previous = _default_runner
+    _default_runner = runner
+    return previous
+
+
+def configure_default_runner(
+    workers: Union[int, str, None] = 1,
+    cache_dir: Union[str, Path, None] = None,
+    progress: Optional[bool] = None,
+) -> ParallelRunner:
+    """Build and install the default runner; returns it."""
+    runner = ParallelRunner(workers=workers, cache_dir=cache_dir, progress=progress)
+    set_default_runner(runner)
+    return runner
+
+
+def run_jobs(
+    jobs: Iterable[SimJob], runner: Optional[ParallelRunner] = None
+) -> List[SimulationResult]:
+    """Run jobs on ``runner`` (or the process-wide default)."""
+    return (runner or get_default_runner()).run(jobs)

@@ -14,9 +14,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..common.params import SystemConfig, scaled_config
-from ..core.simulator import SimulationResult, simulate, simulate_smt
+from ..core.simulator import SimulationResult
 from ..workloads.base import SyntheticWorkload
 from ..workloads.mixes import SMTMix
+from .parallel import ParallelRunner, SimJob, run_jobs
 
 #: Default simulation windows (instructions).  The paper uses 50 M + 100 M;
 #: these are scaled for Python speed (DESIGN.md §3).
@@ -98,15 +99,22 @@ def compare_single_thread(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     baseline: str = "lru",
+    runner: Optional[ParallelRunner] = None,
 ) -> Comparison:
-    """Run each technique over each workload on one hardware thread."""
+    """Run each technique over each workload on one hardware thread.
+
+    The full technique x workload matrix is fanned out through ``runner``
+    (default: the process-wide runner — serial unless configured otherwise).
+    """
+    jobs = [
+        SimJob(config_for(technique, base), (wl,), warmup, measure, label=technique)
+        for technique in techniques
+        for wl in workloads
+    ]
+    results = iter(run_jobs(jobs, runner))
     comparison = Comparison(baseline=baseline)
     for technique in techniques:
-        cfg = config_for(technique, base)
-        comparison.results[technique] = {
-            wl.name: simulate(cfg, wl, warmup, measure, config_label=technique)
-            for wl in workloads
-        }
+        comparison.results[technique] = {wl.name: next(results) for wl in workloads}
     return comparison
 
 
@@ -117,13 +125,16 @@ def compare_smt(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     baseline: str = "lru",
+    runner: Optional[ParallelRunner] = None,
 ) -> Comparison:
     """Run each technique over each two-thread mix on the SMT core."""
+    jobs = [
+        SimJob(config_for(technique, base), mix.workloads, warmup, measure, label=technique)
+        for technique in techniques
+        for mix in mixes
+    ]
+    results = iter(run_jobs(jobs, runner))
     comparison = Comparison(baseline=baseline)
     for technique in techniques:
-        cfg = config_for(technique, base)
-        comparison.results[technique] = {
-            mix.name: simulate_smt(cfg, mix.workloads, warmup, measure, config_label=technique)
-            for mix in mixes
-        }
+        comparison.results[technique] = {mix.name: next(results) for mix in mixes}
     return comparison

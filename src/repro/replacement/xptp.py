@@ -6,9 +6,9 @@ hold **data** PTEs.  Following Figure 6:
 a. the LRU victim is identified at the bottom of the recency stack;
 b. in parallel, an alternative victim is identified — the block closest to
    the LRU end that does *not* hold a data PTE (``ALT_VICTIMpos``);
-c. if the alternative sits ``K`` or more positions above the LRU end
+c. if the alternative sits **more than** ``K`` positions above the LRU end
    (i.e. it is too recently used to be a good victim), the plain LRU
-   victim is evicted;
+   victim is evicted; an alternative at exactly ``K`` is still taken;
 d. otherwise the alternative (non-data-PTE) block is evicted.
 
 Insertion and promotion are plain LRU; insertion additionally records the
@@ -42,6 +42,10 @@ class XPTPPolicy(LRUPolicy):
         self.enabled = True
         self.protected_evictions_avoided = 0
 
+    def reset_stats(self) -> None:
+        """Clear counters at the warmup/measurement boundary (state is kept)."""
+        self.protected_evictions_avoided = 0
+
     def victim(self, set_index: int, lines: Sequence[CacheLine], req: MemoryRequest) -> int:
         stack = self.stacks[set_index]
         lru_way = stack.lru_way
@@ -50,8 +54,8 @@ class XPTPPolicy(LRUPolicy):
             return lru_way
         for height, way in enumerate(stack.ways_from_lru()):
             if not lines[way].is_data_pte:
-                if height >= self.k:
-                    # Step (c): alternative too high in the stack — evict LRU.
+                if height > self.k:
+                    # Step (c): alternative more than K above LRU — evict LRU.
                     return lru_way
                 self.protected_evictions_avoided += 1
                 return way

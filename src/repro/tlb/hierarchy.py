@@ -91,6 +91,14 @@ class MMU:
         #: STLB misses since the adaptive controller last sampled (Section 4.3.1).
         self.stlb_miss_events = 0
 
+    def reset_stats(self) -> None:
+        """Clear MSHR event counters at the warmup/measurement boundary.
+
+        ``stlb_miss_events`` is adaptive-controller *state* (the current
+        window's sample), not a statistic, so it is left alone.
+        """
+        self.stlb_mshrs.reset_stats()
+
     # ------------------------------------------------------------------ #
 
     def _stlb_for(self, access_type: AccessType) -> TLB:

@@ -102,6 +102,24 @@ class TestAdaptiveController:
         controller.on_instructions(400)
         assert xptp.enabled
 
+    def test_overshoot_carries_into_next_window(self):
+        # 1500 instructions close one window and leave a 500 remainder;
+        # 500 more must close the second window (not be lost to a reset).
+        controller, mmu, xptp = make_controller(t1=1, window=1000)
+        mmu.stlb_miss_events = 5
+        controller.on_instructions(1500)
+        assert controller.windows_total == 1
+        controller.on_instructions(500)
+        assert controller.windows_total == 2
+
+    def test_large_count_closes_multiple_windows(self):
+        controller, mmu, xptp = make_controller(t1=1, window=1000)
+        mmu.stlb_miss_events = 5
+        controller.on_instructions(3500)
+        assert controller.windows_total == 3
+        controller.on_instructions(500)
+        assert controller.windows_total == 4
+
     def test_inactive_without_xptp(self):
         config = scaled_config()
         stats = SimStats()

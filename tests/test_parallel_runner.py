@@ -1,0 +1,212 @@
+"""Tests for the parallel experiment runner and its result cache."""
+
+import pytest
+
+from repro.common.params import scaled_config
+from repro.experiments.parallel import (
+    ParallelRunner,
+    ResultCache,
+    SimJob,
+    SimulationError,
+    get_default_runner,
+    job_key,
+    run_jobs,
+    set_default_runner,
+    single,
+    smt,
+    workload_fingerprint,
+)
+from repro.experiments.runner import compare_single_thread, config_for
+from repro.workloads.server import ServerWorkload
+
+WARMUP = 2_000
+MEASURE = 8_000
+
+
+class BoomWorkload(ServerWorkload):
+    """Raises mid-stream; module-level so pool workers can unpickle it."""
+
+    def record_stream(self):
+        raise RuntimeError("boom")
+
+
+def small_workloads(count=2):
+    return [ServerWorkload(f"w{i}", seed=i + 1) for i in range(count)]
+
+
+def small_jobs(workloads=None, label="lru"):
+    base = scaled_config()
+    return [
+        SimJob(base, (wl,), WARMUP, MEASURE, label=label)
+        for wl in (workloads or small_workloads())
+    ]
+
+
+class TestSimJob:
+    def test_validates_workload_count(self):
+        base = scaled_config()
+        wl = ServerWorkload("w", 1)
+        with pytest.raises(ValueError):
+            SimJob(base, (), WARMUP, MEASURE)
+        with pytest.raises(ValueError):
+            SimJob(base, (wl, wl, wl), WARMUP, MEASURE)
+
+    def test_constructors_and_cell(self):
+        base = scaled_config()
+        w0, w1 = small_workloads()
+        job = single(base, w0, WARMUP, MEASURE, label="itp")
+        assert job.cell == "itp x w0"
+        pair = smt(base, [w0, w1], WARMUP, MEASURE)
+        assert pair.workload_name == "w0+w1"
+
+    def test_job_key_stable_and_sensitive(self):
+        base = scaled_config()
+        wl = ServerWorkload("w", 1)
+        job = SimJob(base, (wl,), WARMUP, MEASURE, label="lru")
+        assert job_key(job) == job_key(job)
+        other_seed = SimJob(
+            base, (ServerWorkload("w", 2),), WARMUP, MEASURE, label="lru"
+        )
+        assert job_key(job) != job_key(other_seed)
+        other_config = SimJob(
+            base.with_policies(stlb="itp"), (wl,), WARMUP, MEASURE, label="lru"
+        )
+        assert job_key(job) != job_key(other_config)
+        other_window = SimJob(base, (wl,), WARMUP, 2 * MEASURE, label="lru")
+        assert job_key(job) != job_key(other_window)
+
+    def test_fingerprint_sees_mutated_public_attrs(self):
+        a = ServerWorkload("w", 1)
+        b = ServerWorkload("w", 1)
+        assert workload_fingerprint(a) == workload_fingerprint(b)
+        b.large_page_percent = 100
+        assert workload_fingerprint(a) != workload_fingerprint(b)
+
+
+class TestParallelIdentical:
+    def test_workers_4_matches_workers_1_bit_identical(self):
+        workloads = small_workloads()
+        serial = compare_single_thread(
+            ("lru", "itp"), workloads, None, WARMUP, MEASURE,
+            runner=ParallelRunner(workers=1),
+        )
+        parallel = compare_single_thread(
+            ("lru", "itp"), workloads, None, WARMUP, MEASURE,
+            runner=ParallelRunner(workers=4),
+        )
+        for technique in ("lru", "itp"):
+            for wl in workloads:
+                a = serial.results[technique][wl.name]
+                b = parallel.results[technique][wl.name]
+                assert a.metrics == b.metrics
+                assert a.stats.cycles == b.stats.cycles
+                assert a.stats.instructions == b.stats.instructions
+
+    def test_result_order_matches_job_order(self):
+        workloads = small_workloads(3)
+        jobs = small_jobs(workloads)
+        results = ParallelRunner(workers=4).run(jobs)
+        assert [r.workload for r in results] == [j.workload_name for j in jobs]
+
+
+class TestResultCache:
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        runner = ParallelRunner(workers=1, cache_dir=tmp_path)
+        jobs = small_jobs()
+        first = runner.run(jobs)
+        assert runner.simulations == 2
+        assert runner.cache_misses == 2
+        assert runner.cache_hits == 0
+
+        second = runner.run(jobs)
+        assert runner.simulations == 2  # nothing re-simulated
+        assert runner.cache_hits == 2
+        for a, b in zip(first, second):
+            assert a.metrics == b.metrics
+
+    def test_cache_shared_across_runners(self, tmp_path):
+        jobs = small_jobs()
+        ParallelRunner(workers=1, cache_dir=tmp_path).run(jobs)
+        fresh = ParallelRunner(workers=1, cache_dir=tmp_path)
+        fresh.run(jobs)
+        assert fresh.simulations == 0
+        assert fresh.cache_hits == 2
+
+    def test_different_job_misses_cache(self, tmp_path):
+        runner = ParallelRunner(workers=1, cache_dir=tmp_path)
+        runner.run(small_jobs(label="lru"))
+        runner.run(
+            [
+                SimJob(config_for("itp"), (wl,), WARMUP, MEASURE, label="itp")
+                for wl in small_workloads()
+            ]
+        )
+        assert runner.cache_hits == 0
+        assert runner.simulations == 4
+
+    def test_corrupt_entry_is_recomputed(self, tmp_path):
+        runner = ParallelRunner(workers=1, cache_dir=tmp_path)
+        jobs = small_jobs()
+        runner.run(jobs)
+        # This byte pattern makes pickle raise ValueError (bogus opcode
+        # stream), not just UnpicklingError — load() must eat either.
+        for pkl in tmp_path.glob("*.pkl"):
+            pkl.write_bytes(b"garbage\n")
+        runner.run(jobs)
+        assert runner.simulations == 4
+        assert runner.cache_hits == 0
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ParallelRunner(workers=1, cache_dir=tmp_path)
+        runner.run(small_jobs())
+        assert cache.clear() == 2
+        assert list(tmp_path.glob("*.pkl")) == []
+
+
+class TestFailurePropagation:
+    def failing_jobs(self):
+        base = scaled_config()
+        return [
+            SimJob(base, (ServerWorkload("good", 1),), WARMUP, MEASURE, label="lru"),
+            SimJob(base, (BoomWorkload("bad", 2),), WARMUP, MEASURE, label="lru"),
+        ]
+
+    def test_serial_failure_names_cell(self):
+        with pytest.raises(SimulationError, match=r"lru x bad"):
+            ParallelRunner(workers=1).run(self.failing_jobs())
+
+    def test_pool_failure_names_cell(self):
+        with pytest.raises(SimulationError, match=r"lru x bad"):
+            ParallelRunner(workers=2).run(self.failing_jobs())
+
+
+class TestDefaultRunner:
+    def test_env_configures_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        previous = set_default_runner(None)
+        try:
+            runner = get_default_runner()
+            assert runner.workers == 3
+            assert runner.cache is not None
+            assert get_default_runner() is runner  # memoised
+        finally:
+            set_default_runner(previous)
+
+    def test_default_is_serial_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        previous = set_default_runner(None)
+        try:
+            runner = get_default_runner()
+            assert runner.workers == 1
+            assert runner.cache is None
+        finally:
+            set_default_runner(previous)
+
+    def test_run_jobs_uses_explicit_runner(self):
+        runner = ParallelRunner(workers=1)
+        results = run_jobs(small_jobs(), runner)
+        assert runner.simulations == 2
+        assert len(results) == 2

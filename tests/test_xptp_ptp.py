@@ -37,11 +37,31 @@ class TestXPTPVictim:
 
     def test_step_c_reverts_to_lru_when_alt_too_high(self):
         # Ways 0,1,2 are data PTEs; the first non-PTE (way 3) sits at height
-        # 3 >= K=2, so the plain LRU victim is evicted despite being a PTE.
+        # 3 > K=2, so the plain LRU victim is evicted despite being a PTE.
         policy = XPTPPolicy(1, 4, k=2)
         ls = [CacheLine() for _ in range(4)]
         fill_set(policy, ls, data_pte_ways={0, 1, 2})
         assert policy.victim(0, ls, demand()) == 0
+        assert policy.protected_evictions_avoided == 0
+
+    def test_alternative_at_exactly_k_is_taken(self):
+        # Boundary: ways 0,1 are data PTEs, so the first non-PTE (way 2)
+        # sits at height exactly K=2.  "More than K positions above" is the
+        # revert condition (Section 4.3 step c), so K itself still protects.
+        policy = XPTPPolicy(1, 4, k=2)
+        ls = [CacheLine() for _ in range(4)]
+        fill_set(policy, ls, data_pte_ways={0, 1})
+        assert policy.victim(0, ls, demand()) == 2
+        assert policy.protected_evictions_avoided == 1
+
+    def test_reset_stats_clears_counter(self):
+        policy = XPTPPolicy(1, 4, k=2)
+        ls = [CacheLine() for _ in range(4)]
+        fill_set(policy, ls, data_pte_ways={0})
+        policy.victim(0, ls, demand())
+        assert policy.protected_evictions_avoided == 1
+        policy.reset_stats()
+        assert policy.protected_evictions_avoided == 0
 
     def test_all_data_pte_falls_back_to_lru(self):
         policy = XPTPPolicy(1, 4, k=4)
