@@ -1,0 +1,189 @@
+"""Hot-path throughput benchmark harness.
+
+Measures simulator throughput — trace records, committed instructions and
+simulated cycles per wall-clock second — for each Table 2 technique on the
+Figure 8 single-thread workload set.  The measurement loop is *record
+bounded* (not instruction bounded) so every run executes exactly the same
+deterministic record sequence regardless of how fast it goes, which makes
+the records/sec figures comparable across code versions.
+
+Results are written as JSON (``BENCH_hotpath.json`` by default) so the PR
+that introduced this harness — and every PR after it — can regress against
+a committed baseline:
+
+    PYTHONPATH=src python -m repro.bench --output BENCH_hotpath.json
+    PYTHONPATH=src python -m repro.bench --baseline benchmarks/hotpath_baseline.json
+
+The ``--baseline`` check compares the aggregate records/sec geomean and
+exits non-zero if throughput dropped below ``--min-ratio`` (default 0.7,
+i.e. a 30 % regression budget for CI runner noise).
+
+See ``docs/performance.md`` for how to read the output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..common.params import SystemConfig
+from ..core.cpu import Core
+from ..core.system import System
+from ..experiments.runner import POLICY_MATRIX, config_for
+from ..workloads.base import SyntheticWorkload
+from ..workloads.server import server_suite
+
+#: Default benchmark windows, in trace records (a record averages ~3
+#: instructions on the server workloads).
+DEFAULT_WARMUP_RECORDS = 4_000
+DEFAULT_MEASURE_RECORDS = 20_000
+
+#: Techniques benchmarked by default: the paper's headline configurations,
+#: covering every hot replacement path (plain LRU stacks, iTP depth
+#: placement, xPTP victim scans, RRIP counters).
+DEFAULT_TECHNIQUES = ("lru", "itp", "itp+xptp", "tdrrip")
+
+
+def bench_cell(
+    technique: str,
+    workload: SyntheticWorkload,
+    warmup_records: int = DEFAULT_WARMUP_RECORDS,
+    measure_records: int = DEFAULT_MEASURE_RECORDS,
+    base_config: Optional[SystemConfig] = None,
+) -> Dict[str, float]:
+    """Time one (technique, workload) cell; returns its throughput metrics."""
+    config = config_for(technique, base_config)
+    system = System(config, workload.size_policy)
+    core = Core(system, thread_id=0)
+    stream = workload.record_stream()
+    execute = core.execute
+    advance = stream.__next__
+
+    for _ in range(warmup_records):
+        execute(advance())
+    system.reset_stats()
+
+    cycles = 0.0
+    start = time.perf_counter()
+    for _ in range(measure_records):
+        cycles += execute(advance())
+    wall = time.perf_counter() - start
+    wall = max(wall, 1e-9)
+    stats = system.stats
+    stats.cycles = cycles
+    return {
+        "technique": technique,
+        "workload": workload.name,
+        "records": float(measure_records),
+        "instructions": float(stats.instructions),
+        "cycles": cycles,
+        "wall_seconds": wall,
+        "records_per_sec": measure_records / wall,
+        "instructions_per_sec": stats.instructions / wall,
+        "cycles_per_sec": cycles / wall,
+        "ipc": stats.ipc,
+    }
+
+
+def _geomean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_bench(
+    techniques: Optional[Sequence[str]] = None,
+    workload_count: int = 2,
+    warmup_records: int = DEFAULT_WARMUP_RECORDS,
+    measure_records: int = DEFAULT_MEASURE_RECORDS,
+    repeats: int = 1,
+    verbose: bool = True,
+) -> Dict:
+    """Benchmark every (technique, workload) cell and aggregate the result.
+
+    With ``repeats > 1`` each cell is timed that many times and the fastest
+    repeat is kept (standard practice: the minimum is the least noisy
+    estimator of the true cost).
+    """
+    techniques = list(techniques or DEFAULT_TECHNIQUES)
+    unknown = [t for t in techniques if t not in POLICY_MATRIX]
+    if unknown:
+        raise ValueError(f"unknown technique(s): {', '.join(unknown)}")
+    workloads = server_suite(workload_count)
+
+    cells: List[Dict[str, float]] = []
+    for technique in techniques:
+        for workload in workloads:
+            best: Optional[Dict[str, float]] = None
+            for _ in range(max(1, repeats)):
+                cell = bench_cell(
+                    technique, workload, warmup_records, measure_records
+                )
+                if best is None or cell["wall_seconds"] < best["wall_seconds"]:
+                    best = cell
+            cells.append(best)
+            if verbose:
+                print(
+                    f"  {technique:>12s} / {best['workload']:<12s} "
+                    f"{best['records_per_sec']:>10.0f} rec/s  "
+                    f"{best['instructions_per_sec']:>10.0f} instr/s  "
+                    f"{best['cycles_per_sec']:>12.0f} cyc/s",
+                    file=sys.stderr,
+                )
+
+    aggregate = {
+        "records_per_sec_geomean": _geomean([c["records_per_sec"] for c in cells]),
+        "instructions_per_sec_geomean": _geomean(
+            [c["instructions_per_sec"] for c in cells]
+        ),
+        "cycles_per_sec_geomean": _geomean([c["cycles_per_sec"] for c in cells]),
+    }
+    return {
+        "schema": 1,
+        "kind": "repro.bench.hotpath",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "params": {
+            "techniques": techniques,
+            "workload_count": workload_count,
+            "warmup_records": warmup_records,
+            "measure_records": measure_records,
+            "repeats": repeats,
+        },
+        "cells": cells,
+        "aggregate": aggregate,
+    }
+
+
+def compare_to_baseline(current: Dict, baseline: Dict, min_ratio: float) -> Dict:
+    """Compare two bench reports on the aggregate records/sec geomean.
+
+    Returns a summary dict with ``ratio`` (current / baseline) and ``ok``
+    (True iff the ratio is at least ``min_ratio``).
+    """
+    cur = current["aggregate"]["records_per_sec_geomean"]
+    base = baseline["aggregate"]["records_per_sec_geomean"]
+    ratio = cur / base if base > 0 else float("inf")
+    return {
+        "current_records_per_sec": cur,
+        "baseline_records_per_sec": base,
+        "ratio": ratio,
+        "min_ratio": min_ratio,
+        "ok": ratio >= min_ratio,
+    }
+
+
+def load_report(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_report(report: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,109 @@
+"""CLI for the hot-path throughput benchmark.
+
+Examples::
+
+    # Full default sweep, write BENCH_hotpath.json in the current directory
+    PYTHONPATH=src python -m repro.bench
+
+    # CI smoke: one cheap cell, regression-gated against the committed baseline
+    PYTHONPATH=src python -m repro.bench \
+        --techniques lru itp+xptp --workloads 1 --measure-records 6000 \
+        --baseline benchmarks/hotpath_baseline.json --min-ratio 0.7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    DEFAULT_MEASURE_RECORDS,
+    DEFAULT_TECHNIQUES,
+    DEFAULT_WARMUP_RECORDS,
+    compare_to_baseline,
+    load_report,
+    run_bench,
+    save_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Measure simulator hot-path throughput per technique.",
+    )
+    parser.add_argument(
+        "--techniques", nargs="+", default=list(DEFAULT_TECHNIQUES),
+        help="Table 2 technique names to benchmark",
+    )
+    parser.add_argument(
+        "--workloads", type=int, default=2, metavar="N",
+        help="number of fig08 single-thread server workloads (default 2)",
+    )
+    parser.add_argument(
+        "--warmup-records", type=int, default=DEFAULT_WARMUP_RECORDS,
+        help="records executed before timing starts",
+    )
+    parser.add_argument(
+        "--measure-records", type=int, default=DEFAULT_MEASURE_RECORDS,
+        help="records executed inside the timed window",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="time each cell this many times, keep the fastest",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_hotpath.json",
+        help="where to write the JSON report (default BENCH_hotpath.json)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="compare against a previously saved report",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.7,
+        help="fail if records/sec falls below this fraction of the baseline",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(
+        techniques=args.techniques,
+        workload_count=args.workloads,
+        warmup_records=args.warmup_records,
+        measure_records=args.measure_records,
+        repeats=args.repeats,
+        verbose=not args.quiet,
+    )
+
+    status = 0
+    if args.baseline:
+        summary = compare_to_baseline(
+            report, load_report(args.baseline), args.min_ratio
+        )
+        report["baseline_comparison"] = summary
+        print(
+            f"records/sec geomean: {summary['current_records_per_sec']:.0f} "
+            f"(baseline {summary['baseline_records_per_sec']:.0f}, "
+            f"ratio {summary['ratio']:.2f}x, floor {summary['min_ratio']:.2f}x)"
+        )
+        if not summary["ok"]:
+            print("FAIL: throughput regressed below the allowed floor", file=sys.stderr)
+            status = 1
+    else:
+        agg = report["aggregate"]
+        print(
+            f"records/sec geomean: {agg['records_per_sec_geomean']:.0f}  "
+            f"instr/sec geomean: {agg['instructions_per_sec_geomean']:.0f}  "
+            f"cycles/sec geomean: {agg['cycles_per_sec_geomean']:.0f}"
+        )
+
+    save_report(report, args.output)
+    print(f"wrote {args.output}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

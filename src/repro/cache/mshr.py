@@ -18,7 +18,7 @@ from typing import Dict, Optional
 from ..common.types import AccessType, RequestType
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """One outstanding miss: block address plus the propagated Type bit."""
 

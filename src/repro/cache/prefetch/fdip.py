@@ -18,6 +18,8 @@ from .base import Prefetcher
 if TYPE_CHECKING:  # pragma: no cover
     from ..cache import SetAssociativeCache
 
+_IFETCH = RequestType.IFETCH
+
 
 class FDIPPrefetcher(Prefetcher):
     name = "fdip"
@@ -29,14 +31,24 @@ class FDIPPrefetcher(Prefetcher):
         self._last_line = -1
 
     def on_access(self, cache: "SetAssociativeCache", req: MemoryRequest, hit: bool) -> None:
-        if req.req_type != RequestType.IFETCH:
+        if req.req_type is not _IFETCH:
             return
-        line = req.address >> 6
+        line = req.address >> cache.line_shift
+        # Probe the tag maps inline; cache.prefetch would early-return on a
+        # present line anyway and most of the FTQ window is already resident.
+        tag_maps = cache._tag_maps
+        set_mask = cache._set_mask
+        set_shift = cache._set_shift
+        pc = req.pc
         if line == self._last_line + 1:
             # Sequential fetch: run the FTQ ahead by ``depth`` lines.
             for step in range(1, self.depth + 1):
-                cache.prefetch(line + step, pc=req.pc)
+                target = line + step
+                if (target >> set_shift) not in tag_maps[target & set_mask]:
+                    cache.prefetch(target, pc=pc)
         else:
             # Redirect (taken branch): prefetch the immediate fall-through.
-            cache.prefetch(line + 1, pc=req.pc)
+            target = line + 1
+            if (target >> set_shift) not in tag_maps[target & set_mask]:
+                cache.prefetch(target, pc=pc)
         self._last_line = line

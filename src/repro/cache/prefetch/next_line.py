@@ -10,6 +10,8 @@ from .base import Prefetcher
 if TYPE_CHECKING:  # pragma: no cover
     from ..cache import SetAssociativeCache
 
+_PREFETCH = RequestType.PREFETCH
+
 
 class NextLinePrefetcher(Prefetcher):
     """On every demand access, prefetch the next ``degree`` sequential lines."""
@@ -22,8 +24,13 @@ class NextLinePrefetcher(Prefetcher):
         self.degree = degree
 
     def on_access(self, cache: "SetAssociativeCache", req: MemoryRequest, hit: bool) -> None:
-        if req.req_type == RequestType.PREFETCH:
+        if req.req_type is _PREFETCH:
             return
-        line = req.address >> 6
+        line = req.address >> cache.line_shift
+        tag_maps = cache._tag_maps
+        set_mask = cache._set_mask
+        set_shift = cache._set_shift
         for step in range(1, self.degree + 1):
-            cache.prefetch(line + step, pc=req.pc)
+            target = line + step
+            if (target >> set_shift) not in tag_maps[target & set_mask]:
+                cache.prefetch(target, pc=req.pc)

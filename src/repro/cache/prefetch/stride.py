@@ -12,6 +12,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 TABLE_ENTRIES = 1024
 
+_PREFETCH = RequestType.PREFETCH
+_PTW = RequestType.PTW
+
 
 class StridePrefetcher(Prefetcher):
     """Classic per-PC stride detector with 2-step confirmation.
@@ -30,10 +33,11 @@ class StridePrefetcher(Prefetcher):
         self.table: Dict[int, Tuple[int, int, int]] = {}
 
     def on_access(self, cache: "SetAssociativeCache", req: MemoryRequest, hit: bool) -> None:
-        if req.req_type in (RequestType.PREFETCH, RequestType.PTW):
+        req_type = req.req_type
+        if req_type is _PREFETCH or req_type is _PTW:
             return
         key = (req.pc ^ (req.pc >> 10)) % TABLE_ENTRIES
-        line = req.address >> 6
+        line = req.address >> cache.line_shift
         last = self.table.get(key)
         if last is None:
             self.table[key] = (line, 0, 0)
@@ -48,5 +52,10 @@ class StridePrefetcher(Prefetcher):
             confidence = 0
         self.table[key] = (line, stride, confidence)
         if confidence >= 1:
+            tag_maps = cache._tag_maps
+            set_mask = cache._set_mask
+            set_shift = cache._set_shift
             for step in range(1, self.degree + 1):
-                cache.prefetch(line + stride * step, pc=req.pc)
+                target = line + stride * step
+                if (target >> set_shift) not in tag_maps[target & set_mask]:
+                    cache.prefetch(target, pc=req.pc)

@@ -15,7 +15,7 @@ from .params import (
     inorder_core,
     make_config,
 )
-from .recency import RecencyStack
+from .recency import NaiveRecencyStack, RecencyStack
 from .stats import LevelStats, SimStats, categorize
 from .types import (
     AccessResult,
@@ -47,6 +47,7 @@ __all__ = [
     "PAGE_BYTES",
     "PSCConfig",
     "PageSize",
+    "NaiveRecencyStack",
     "RecencyStack",
     "RequestType",
     "SimStats",

@@ -32,6 +32,10 @@ class CacheConfig:
         return self.num_lines // self.associativity
 
     def __post_init__(self) -> None:
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(
+                f"{self.name}: line size {self.line_bytes} is not a power of two"
+            )
         if self.size_bytes % (self.line_bytes * self.associativity):
             raise ValueError(
                 f"{self.name}: size {self.size_bytes} not divisible by "

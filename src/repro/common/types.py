@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 CACHE_LINE_BYTES = 64
 CACHE_LINE_BITS = 6
@@ -54,13 +54,18 @@ class PageSize(enum.IntEnum):
         return PAGE_BITS if self is PageSize.SIZE_4K else LARGE_PAGE_BITS
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class MemoryRequest:
     """A request presented to a cache level.
 
     ``is_pte`` marks blocks that hold page-table entries; for those,
     ``translation_type`` distinguishes instruction-PTE from data-PTE lines —
     the information xPTP's Type bit carries through the L2C MSHR (Figure 7).
+
+    Slotted and mutable: the hierarchy is synchronous (no level holds a
+    request beyond the ``access`` call it arrived in), so hot paths reuse
+    one request object per source and rewrite its scalar fields instead of
+    allocating a fresh request per reference.
     """
 
     address: int
@@ -86,13 +91,16 @@ class MemoryRequest:
         return self.is_pte and self.translation_type == AccessType.INSTRUCTION
 
 
-@dataclass(frozen=True)
-class TraceRecord:
+class TraceRecord(NamedTuple):
     """One fetch group of a workload trace.
 
     A record corresponds to a contiguous run of ``num_instrs`` instructions
     fetched from the cache line containing ``pc``, optionally performing
     memory operations at the given virtual addresses.
+
+    A ``NamedTuple`` rather than a frozen dataclass: trace generators create
+    one per fetch group, and tuple construction skips the per-field
+    ``object.__setattr__`` a frozen dataclass ``__init__`` pays.
     """
 
     pc: int
@@ -101,7 +109,7 @@ class TraceRecord:
     stores: Tuple[int, ...] = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of an access to a cache/TLB level: latency and hit flag."""
 

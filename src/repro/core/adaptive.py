@@ -34,26 +34,30 @@ class AdaptiveXPTPController:
         self.switches = 0
         self.windows_enabled = 0
         self.windows_total = 0
-        if xptp_policy is not None and config.enabled:
+        # Both operands are fixed after construction (config is frozen).
+        self._active = xptp_policy is not None and config.enabled
+        self._window_size = config.window_instructions
+        self._t1 = config.t1_misses
+        if self._active:
             # Start disabled: the first window must demonstrate STLB pressure.
             xptp_policy.enabled = False
 
     @property
     def active(self) -> bool:
-        return self.xptp_policy is not None and self.config.enabled
+        return self._active
 
     def on_instructions(self, count: int) -> None:
         """Account ``count`` committed instructions; maybe close a window."""
-        if not self.active:
+        if not self._active:
             return
         self._window_instructions += count
         # Carry the overshoot across windows: a multi-instruction record can
         # land past the boundary, and dropping the remainder would let every
         # window drift beyond the architected 1000 committed instructions.
-        while self._window_instructions >= self.config.window_instructions:
-            self._window_instructions -= self.config.window_instructions
+        while self._window_instructions >= self._window_size:
+            self._window_instructions -= self._window_size
             misses = self.mmu.take_stlb_miss_events()
-            enable = misses > self.config.t1_misses
+            enable = misses > self._t1
             self.windows_total += 1
             if enable:
                 self.windows_enabled += 1

@@ -11,8 +11,12 @@ slows both threads, as in the paper's contended-structure methodology.
 from __future__ import annotations
 
 from ..common.params import DRAMConfig
-from ..common.stats import LevelStats, categorize
-from ..common.types import MemoryRequest, RequestType
+from ..common.stats import LevelStats
+from ..common.types import AccessType, MemoryRequest, RequestType
+
+_DATA = AccessType.DATA
+_IFETCH = RequestType.IFETCH
+_WRITEBACK = RequestType.WRITEBACK
 
 #: Accesses per kilo-instruction the channel absorbs with no queueing.
 _FREE_RATE = 40
@@ -49,13 +53,18 @@ class DRAM:
         return cfg.bus_overhead + int(dram_cycles * ratio)
 
     def access(self, req: MemoryRequest) -> int:
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         self._window_accesses += 1
-        category = categorize(req)
-        self.stats.category_accesses[category] = (
-            self.stats.category_accesses.get(category, 0) + 1
-        )
-        if req.req_type == RequestType.WRITEBACK:
+        # categorize() inlined (hot: every miss in the hierarchy ends here).
+        if req.is_pte:
+            category = "dt" if req.translation_type is _DATA else "it"
+        elif req.req_type is _IFETCH:
+            category = "i"
+        else:
+            category = "d"
+        stats.cat_accesses[category] += 1
+        if req.req_type is _WRITEBACK:
             # Writes are buffered; they consume bandwidth but add no demand
             # latency.  Under the row-buffer model they still open their row.
             if self.config.row_buffer:

@@ -14,8 +14,7 @@ whether a virtual address lives in a 4 KB or a 2 MB page (Section 6.5);
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from ..common.types import PAGE_BITS, PTE_BYTES, PageSize
 
@@ -30,16 +29,14 @@ PT_FRAME_BASE = 1 << 26
 DATA_FRAME_BASE = 1 << 8
 
 
-@dataclass(frozen=True)
-class WalkStep:
+class WalkStep(NamedTuple):
     """One page-table entry read: table level and physical byte address."""
 
     level: int
     entry_address: int
 
 
-@dataclass(frozen=True)
-class WalkPath:
+class WalkPath(NamedTuple):
     """Full result of translating a virtual address."""
 
     steps: Tuple[WalkStep, ...]

@@ -13,7 +13,8 @@ conservative choice and does not change policy orderings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
+
 from ..common.params import PSCConfig
 from ..common.stats import SimStats
 from ..common.types import AccessType, MemoryRequest, PAGE_BITS, PageSize, RequestType
@@ -21,8 +22,7 @@ from .page_table import PageTable, WalkPath
 from .psc import SplitPSC
 
 
-@dataclass(frozen=True)
-class WalkResult:
+class WalkResult(NamedTuple):
     latency: int
     pfn: int
     page_size: PageSize
@@ -44,6 +44,11 @@ class PageTableWalker:
         self.psc_latency = psc_config.latency
         self.memory_level = memory_level
         self.stats = stats
+        # Reusable PTE-read request (walks are sequential; the request is
+        # consumed synchronously by the cache hierarchy).
+        self._ptw_req = MemoryRequest(
+            address=0, req_type=RequestType.PTW, is_pte=True
+        )
 
     def walk(
         self,
@@ -66,15 +71,13 @@ class PageTableWalker:
             self.stats.bump("ptw.psc_misses")
 
         references = 0
+        req = self._ptw_req
+        req.translation_type = translation_type
+        req.thread_id = thread_id
+        access = self.memory_level.access
         for step in steps:
-            req = MemoryRequest(
-                address=step.entry_address,
-                req_type=RequestType.PTW,
-                is_pte=True,
-                translation_type=translation_type,
-                thread_id=thread_id,
-            )
-            latency += self.memory_level.access(req)
+            req.address = step.entry_address
+            latency += access(req)
             references += 1
 
         # Refill the PSCs along the traversed path: reading the level-k

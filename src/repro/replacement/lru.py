@@ -18,9 +18,13 @@ class LRUPolicy(CacheReplacementPolicy):
 
     name = "lru"
 
+    #: Stack implementation; the golden bit-identity test swaps in the
+    #: naive list-based reference model here.
+    stack_cls = RecencyStack
+
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
-        self.stacks: List[RecencyStack] = [RecencyStack() for _ in range(num_sets)]
+        self.stacks: List[RecencyStack] = [self.stack_cls() for _ in range(num_sets)]
 
     def victim(self, set_index: int, lines: Sequence[CacheLine], req: MemoryRequest) -> int:
         return self.stacks[set_index].lru_way
@@ -32,6 +36,4 @@ class LRUPolicy(CacheReplacementPolicy):
         self.stacks[set_index].touch(way)
 
     def on_evict(self, set_index: int, way: int, lines: Sequence[CacheLine]) -> None:
-        stack = self.stacks[set_index]
-        if way in stack:
-            stack.remove(way)
+        self.stacks[set_index].discard(way)

@@ -29,9 +29,17 @@ from .prefetch import make_stlb_prefetcher
 from .tlb import TLB
 
 
-@dataclass(frozen=True)
+_INSTRUCTION = AccessType.INSTRUCTION
+_SIZE_2M = PageSize.SIZE_2M
+
+
+@dataclass(slots=True)
 class TranslationResult:
-    """Outcome of one address translation."""
+    """Outcome of one address translation.
+
+    Slotted (not frozen) because one is allocated per memory reference —
+    the single hottest allocation site in the simulator.
+    """
 
     pfn: int
     latency: int          # cycles beyond a first-level TLB hit
@@ -90,6 +98,13 @@ class MMU:
         self.prefetcher = make_stlb_prefetcher(config.stlb_prefetcher)
         #: STLB misses since the adaptive controller last sampled (Section 4.3.1).
         self.stlb_miss_events = 0
+        # Hot-path bindings: resolve the per-type structure routing and the
+        # CHiRP isinstance check once instead of per translation.
+        self._stlb_i = self._stlb_for(AccessType.INSTRUCTION)
+        self._stlb_d = self._stlb_for(AccessType.DATA)
+        policy = self._stlb_i.policy
+        self._chirp = policy if isinstance(policy, CHiRPPolicy) else None
+        self._stlb_latency = config.stlb.latency
 
     def reset_stats(self) -> None:
         """Clear MSHR event counters at the warmup/measurement boundary.
@@ -111,28 +126,33 @@ class MMU:
     def translate(
         self, vaddr: int, access_type: AccessType, thread_id: int = 0
     ) -> TranslationResult:
-        is_instr = access_type == AccessType.INSTRUCTION
-        l1 = self.itlb if is_instr else self.dtlb
-        stlb = self._stlb_for(access_type)
-
-        if is_instr and isinstance(stlb.policy, CHiRPPolicy):
-            stlb.policy.observe_fetch_page(vaddr >> PAGE_BITS)
+        is_instr = access_type is _INSTRUCTION
+        if is_instr:
+            l1 = self.itlb
+            stlb = self._stlb_i
+            if self._chirp is not None:
+                self._chirp.observe_fetch_page(vaddr >> PAGE_BITS)
+        else:
+            l1 = self.dtlb
+            stlb = self._stlb_d
 
         entry = l1.lookup(vaddr, access_type)
         if entry is not None:
-            return TranslationResult(
-                self._entry_pfn(entry, vaddr), 0, False, False, entry.page_size
-            )
+            pfn = entry.pfn
+            if entry.page_size is _SIZE_2M:
+                pfn += (vaddr >> PAGE_BITS) & 0x1FF
+            return TranslationResult(pfn, 0, False, False, entry.page_size)
 
-        latency = self.config.stlb.latency
+        latency = self._stlb_latency
         entry = stlb.lookup(vaddr, access_type)
         if entry is not None:
             l1.insert(vaddr, entry.pfn, entry.page_size, access_type)
-            l1.record_miss(access_type, self.config.stlb.latency)
+            l1.record_miss(access_type, latency)
             self._account_translation(access_type, latency)
-            return TranslationResult(
-                self._entry_pfn(entry, vaddr), latency, True, False, entry.page_size
-            )
+            pfn = entry.pfn
+            if entry.page_size is _SIZE_2M:
+                pfn += (vaddr >> PAGE_BITS) & 0x1FF
+            return TranslationResult(pfn, latency, True, False, entry.page_size)
 
         # STLB miss: allocate the typed MSHR entry (Figure 7, step 2) and walk.
         vpn = vaddr >> PAGE_BITS

@@ -11,9 +11,12 @@ from typing import List, Optional
 
 from ..common.params import TLBConfig
 from ..common.stats import LevelStats
-from ..common.types import AccessType, PAGE_BITS, PageSize
+from ..common.types import AccessType, LARGE_PAGE_BITS, PAGE_BITS, PageSize
 from .entry import TLBEntry
 from .policies.base import TLBReplacementPolicy
+
+_INSTRUCTION = AccessType.INSTRUCTION
+_SIZE_4K = PageSize.SIZE_4K
 
 
 def _key(vpn: int, page_size: PageSize) -> int:
@@ -41,11 +44,17 @@ class TLB:
             [TLBEntry() for _ in range(self.associativity)] for _ in range(self.num_sets)
         ]
         self._key_maps: List[dict] = [dict() for _ in range(self.num_sets)]
+        # Hot-path bindings: the policy never changes after construction.
+        self._on_hit = policy.on_hit
+        self._on_miss = policy.on_miss
+        self._on_insert = policy.on_insert
+        self._victim = policy.victim
+        self._policy_on_evict = policy.on_evict
 
     # ------------------------------------------------------------------ #
 
     def _find(self, vaddr: int, page_size: PageSize) -> Optional[tuple]:
-        vpn = vaddr >> page_size.offset_bits
+        vpn = vaddr >> (PAGE_BITS if page_size is _SIZE_4K else LARGE_PAGE_BITS)
         key = _key(vpn, page_size)
         set_index = vpn & self._set_mask
         way = self._key_maps[set_index].get(key)
@@ -54,24 +63,44 @@ class TLB:
         return set_index, way
 
     def lookup(self, vaddr: int, access_type: AccessType) -> Optional[TLBEntry]:
-        """Look up ``vaddr``; on a hit the policy's promotion rule runs."""
-        category = "i" if access_type == AccessType.INSTRUCTION else "d"
-        for page_size in (PageSize.SIZE_4K, PageSize.SIZE_2M):
-            found = self._find(vaddr, page_size)
-            if found is not None:
-                set_index, way = found
-                entry = self.sets[set_index][way]
-                self.policy.on_hit(set_index, way, self.sets[set_index], access_type)
-                self.stats.record_access(category, hit=True)
-                return entry
-        set_index = (vaddr >> PAGE_BITS) & self._set_mask
-        self.policy.on_miss(set_index, vaddr, access_type)
-        # The caller records the miss with its resolved latency.
-        return None
+        """Look up ``vaddr``; on a hit the policy's promotion rule runs.
+
+        The two page-size probes are unrolled with precomputed shifts —
+        this is the hottest TLB operation (every reference translates).
+        """
+        set_mask = self._set_mask
+        key_maps = self._key_maps
+        # 4 KB probe: key = (vpn << 1) | 0.
+        vpn = vaddr >> PAGE_BITS
+        set_index = vpn & set_mask
+        way = key_maps[set_index].get(vpn << 1)
+        if way is None:
+            # 2 MB probe: key = (vpn << 1) | 1.
+            vpn2 = vaddr >> LARGE_PAGE_BITS
+            set_index2 = vpn2 & set_mask
+            way = key_maps[set_index2].get((vpn2 << 1) | 1)
+            if way is None:
+                self._on_miss(set_index, vaddr, access_type)
+                # The caller records the miss with its resolved latency.
+                return None
+            set_index = set_index2
+        entries = self.sets[set_index]
+        entry = entries[way]
+        self._on_hit(set_index, way, entries, access_type)
+        stats = self.stats
+        stats.accesses += 1
+        stats.hits += 1
+        stats.cat_accesses["i" if access_type is _INSTRUCTION else "d"] += 1
+        return entry
 
     def record_miss(self, access_type: AccessType, miss_latency: int) -> None:
-        category = "i" if access_type == AccessType.INSTRUCTION else "d"
-        self.stats.record_access(category, hit=False, miss_latency=miss_latency)
+        stats = self.stats
+        category = "i" if access_type is _INSTRUCTION else "d"
+        stats.accesses += 1
+        stats.misses += 1
+        stats.miss_latency_sum += miss_latency
+        stats.cat_accesses[category] += 1
+        stats.cat_misses[category] += 1
 
     def insert(
         self,
@@ -81,7 +110,7 @@ class TLB:
         access_type: AccessType,
     ) -> TLBEntry:
         """Install a translation (end of page walk / refill from STLB)."""
-        vpn = vaddr >> page_size.offset_bits
+        vpn = vaddr >> (PAGE_BITS if page_size is _SIZE_4K else LARGE_PAGE_BITS)
         key = _key(vpn, page_size)
         set_index = vpn & self._set_mask
         key_map = self._key_maps[set_index]
@@ -89,9 +118,11 @@ class TLB:
 
         way = key_map.get(key)
         if way is None:
-            way = self._find_invalid_way(entries)
+            # A full key map means every way is valid: skip the scan.
+            if len(key_map) < self.associativity:
+                way = self._find_invalid_way(entries)
             if way is None:
-                way = self.policy.victim(set_index, entries)
+                way = self._victim(set_index, entries)
                 self._evict(set_index, way)
             key_map[key] = way
         entry = entries[way]
@@ -101,7 +132,7 @@ class TLB:
         entry.pfn = pfn
         entry.page_size = page_size
         entry.access_type = access_type
-        self.policy.on_insert(set_index, way, entries, access_type)
+        self._on_insert(set_index, way, entries, access_type)
         return entry
 
     def _find_invalid_way(self, entries: List[TLBEntry]) -> Optional[int]:
@@ -116,7 +147,7 @@ class TLB:
         if not entry.valid:
             return
         self.stats.evictions += 1
-        self.policy.on_evict(set_index, way, entries)
+        self._policy_on_evict(set_index, way, entries)
         del self._key_maps[set_index][entry.key]
         entry.invalidate()
 

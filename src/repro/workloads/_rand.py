@@ -1,7 +1,10 @@
 """Batched deterministic random sources for trace generators.
 
 Drawing one NumPy random per record is slow; these helpers draw large
-batches and hand out values one at a time.
+batches and hand out values one at a time.  Each batch is converted to a
+plain Python list up front (``ndarray.tolist``), so ``next`` is a list
+index instead of a NumPy scalar extraction plus an int()/float() cast —
+the values are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -15,16 +18,16 @@ class BatchedUniform:
     def __init__(self, rng: np.random.Generator, batch: int = 65536) -> None:
         self._rng = rng
         self._batch = batch
-        self._values = rng.random(batch)
+        self._values = rng.random(batch).tolist()
         self._pos = 0
 
     def next(self) -> float:
-        if self._pos >= self._batch:
-            self._values = self._rng.random(self._batch)
-            self._pos = 0
-        value = self._values[self._pos]
-        self._pos += 1
-        return float(value)
+        pos = self._pos
+        if pos >= self._batch:
+            self._values = self._rng.random(self._batch).tolist()
+            pos = 0
+        self._pos = pos + 1
+        return self._values[pos]
 
 
 class BatchedChoice:
@@ -37,16 +40,18 @@ class BatchedChoice:
         self._count = count
         self._weights = weights
         self._batch = batch
-        self._values = rng.choice(count, size=batch, p=weights)
+        self._values = rng.choice(count, size=batch, p=weights).tolist()
         self._pos = 0
 
     def next(self) -> int:
-        if self._pos >= self._batch:
-            self._values = self._rng.choice(self._count, size=self._batch, p=self._weights)
-            self._pos = 0
-        value = self._values[self._pos]
-        self._pos += 1
-        return int(value)
+        pos = self._pos
+        if pos >= self._batch:
+            self._values = self._rng.choice(
+                self._count, size=self._batch, p=self._weights
+            ).tolist()
+            pos = 0
+        self._pos = pos + 1
+        return self._values[pos]
 
 
 class BatchedInts:
@@ -56,13 +61,13 @@ class BatchedInts:
         self._rng = rng
         self._high = high
         self._batch = batch
-        self._values = rng.integers(0, high, size=batch)
+        self._values = rng.integers(0, high, size=batch).tolist()
         self._pos = 0
 
     def next(self) -> int:
-        if self._pos >= self._batch:
-            self._values = self._rng.integers(0, self._high, size=self._batch)
-            self._pos = 0
-        value = self._values[self._pos]
-        self._pos += 1
-        return int(value)
+        pos = self._pos
+        if pos >= self._batch:
+            self._values = self._rng.integers(0, self._high, size=self._batch).tolist()
+            pos = 0
+        self._pos = pos + 1
+        return self._values[pos]

@@ -142,13 +142,32 @@ class ServerWorkload(SyntheticWorkload):
         pick_warm_page = BatchedInts(rng, self.warm_pages)
         current_hot_page = 0
 
+        # Hot-loop bindings: one record per iteration, so every attribute
+        # lookup in here is paid tens of thousands of times per cell.
+        coin_next = coin.next
+        pick_function_next = pick_function.next
+        pick_hot_page_next = pick_hot_page.next
+        pick_offset_next = pick_offset.next
+        pick_local_next = pick_local.next
+        pick_warm_page_next = pick_warm_page.next
+        functions = self._functions
+        instrs_per_line = self.instrs_per_line
+        load_probability = self.load_probability
+        store_probability = self.store_probability
+        hot_fraction = self.hot_fraction
+        hot_local_fraction = self.hot_fraction + self.local_fraction
+        hot_local_warm_fraction = hot_local_fraction + self.warm_fraction
+        page_reuse_probability = self.page_reuse_probability
+        loop_probability = self.loop_probability
+        local_pages = self.local_pages
+
         while True:
-            func_id = pick_function.next()
-            start_line, num_lines = self._functions[func_id]
+            func_id = pick_function_next()
+            start_line, num_lines = functions[func_id]
             repeats = 1
-            if coin.next() < self.loop_probability:
-                repeats = 2 if coin.next() < 0.7 else 3
-            local_page = func_id % self.local_pages
+            if coin_next() < loop_probability:
+                repeats = 2 if coin_next() < 0.7 else 3
+            local_page = func_id % local_pages
             for _ in range(repeats):
                 for line in range(start_line, start_line + num_lines):
                     # Code is densely laid out: binaries are contiguous, so
@@ -157,35 +176,33 @@ class ServerWorkload(SyntheticWorkload):
                     pc = CODE_BASE + line * CACHE_LINE_BYTES
                     loads: Tuple[int, ...] = ()
                     stores: Tuple[int, ...] = ()
-                    if coin.next() < self.load_probability:
-                        select = coin.next()
-                        if select < self.hot_fraction:
+                    if coin_next() < load_probability:
+                        select = coin_next()
+                        if select < hot_fraction:
                             # Page-burst behaviour: consecutive hot accesses
                             # tend to stay on the same data page.
-                            if coin.next() >= self.page_reuse_probability:
-                                current_hot_page = pick_hot_page.next()
+                            if coin_next() >= page_reuse_probability:
+                                current_hot_page = pick_hot_page_next()
                             addr = sparse_vaddr(
-                                DATA_BASE, current_hot_page, pick_offset.next() * 8
+                                DATA_BASE, current_hot_page, pick_offset_next() * 8
                             )
-                        elif select < self.hot_fraction + self.local_fraction:
+                        elif select < hot_local_fraction:
                             addr = sparse_vaddr(
-                                LOCAL_BASE, local_page, pick_local.next() * 8
+                                LOCAL_BASE, local_page, pick_local_next() * 8
                             )
-                        elif select < (
-                            self.hot_fraction + self.local_fraction + self.warm_fraction
-                        ):
+                        elif select < hot_local_warm_fraction:
                             addr = sparse_vaddr(
-                                WARM_BASE, pick_warm_page.next(), pick_offset.next() * 8
+                                WARM_BASE, pick_warm_page_next(), pick_offset_next() * 8
                             )
                         else:
                             addr = STREAM_BASE + stream_cursor
                             stream_cursor = (stream_cursor + CACHE_LINE_BYTES) % stream_bytes
                         loads = (addr,)
-                    if coin.next() < self.store_probability:
+                    if coin_next() < store_probability:
                         stores = (
-                            sparse_vaddr(LOCAL_BASE, local_page, pick_local.next() * 8),
+                            sparse_vaddr(LOCAL_BASE, local_page, pick_local_next() * 8),
                         )
-                    yield TraceRecord(pc, self.instrs_per_line, loads, stores)
+                    yield TraceRecord(pc, instrs_per_line, loads, stores)
 
 
 def server_suite(

@@ -164,6 +164,48 @@ class TestPrefetchPath:
         assert len(mem.requests) == 1
 
 
+class TestLineGeometry:
+    """The line shift is derived from ``line_bytes``, not hardcoded to 64 B."""
+
+    @staticmethod
+    def _make_32b_cache():
+        from repro.cache.cache import SetAssociativeCache
+        from repro.common.params import CacheConfig
+        from repro.common.stats import LevelStats
+        from repro.replacement.registry import make_cache_policy
+
+        config = CacheConfig(
+            "X32", size_bytes=4 * 4 * 32, associativity=4, latency=1,
+            mshr_entries=4, line_bytes=32,
+        )
+        mem = StubMemory()
+        cache = SetAssociativeCache(
+            config,
+            make_cache_policy("lru", config.num_sets, config.associativity),
+            mem,
+            LevelStats("X32"),
+        )
+        return cache, mem
+
+    def test_line_shift_follows_line_bytes(self):
+        cache, _ = self._make_32b_cache()
+        assert cache.line_shift == 5
+
+    def test_32_byte_lines_are_distinct(self):
+        cache, mem = self._make_32b_cache()
+        cache.access(load(0x1000))
+        cache.access(load(0x1020))  # next 32-byte line: a second miss
+        assert cache.stats.misses == 2
+        assert len(mem.requests) == 2
+
+    def test_hits_within_32_byte_line(self):
+        cache, _ = self._make_32b_cache()
+        cache.access(load(0x1000))
+        assert cache.access(load(0x101F)) == cache.config.latency
+        # 0x1020 would be a different line, 0x101F is not.
+        assert cache.stats.hits == 1
+
+
 class TestGeometryValidation:
     def test_policy_geometry_mismatch_rejected(self):
         from repro.cache.cache import SetAssociativeCache

@@ -11,7 +11,10 @@ to catch accidental behavioural drift in the substrate.
 import pytest
 
 from repro.common.params import TABLE1, scaled_config
+from repro.common.recency import NaiveRecencyStack
 from repro.core.simulator import simulate
+from repro.replacement.lru import LRUPolicy
+from repro.tlb.policies.lru import TLBLRUPolicy
 from repro.workloads.server import ServerWorkload
 
 GOLDEN_WORKLOAD = dict(
@@ -45,6 +48,37 @@ class TestGoldenMetrics:
         wl = ServerWorkload("golden", **GOLDEN_WORKLOAD)
         again = simulate(scaled_config(), wl, 30_000, 100_000)
         assert again.metrics == golden_run.metrics
+
+
+class TestStackBitIdentity:
+    """The O(1) recency stack must be *bit-identical* to the seed's list-based
+    stack: one full (technique, workload) cell run on each implementation has
+    to produce exactly the same metric report, not merely similar numbers.
+
+    The iTP+xPTP cell is the discriminating one — it exercises every stack
+    operation the paper's policies use: ``place_at_depth`` (iTP's MRU-N
+    insert), ``place_above_lru`` (iTP's LRU+M data promotion),
+    ``ways_from_lru`` (xPTP's victim scan), ``touch`` and eviction cleanup.
+    """
+
+    CELL_WORKLOAD = dict(
+        code_pages=96, data_pages=3000, hot_data_pages=64, warm_pages=800,
+        local_pages=16, seed=7,
+    )
+
+    def _run_cell(self):
+        cfg = scaled_config().with_policies(stlb="itp", l2c="xptp")
+        wl = ServerWorkload("bit_identity", **self.CELL_WORKLOAD)
+        return simulate(cfg, wl, 10_000, 40_000)
+
+    def test_linked_stack_cell_matches_naive_reference(self, monkeypatch):
+        fast = self._run_cell()
+        # Swap the reference model in under every stack-based policy (iTP,
+        # xPTP, PTP, CHiRP and problru all subclass the two LRU policies).
+        monkeypatch.setattr(LRUPolicy, "stack_cls", NaiveRecencyStack)
+        monkeypatch.setattr(TLBLRUPolicy, "stack_cls", NaiveRecencyStack)
+        slow = self._run_cell()
+        assert slow.metrics == fast.metrics
 
 
 class TestFullScaleTable1:

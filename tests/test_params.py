@@ -83,6 +83,17 @@ class TestCacheConfig:
         with pytest.raises(ValueError, match="power of two"):
             CacheConfig("x", size_bytes=3 * 64 * 8, associativity=8, latency=1, mshr_entries=8)
 
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheConfig("x", size_bytes=48 * 8 * 4, associativity=8, latency=1,
+                        mshr_entries=8, line_bytes=48)
+
+    def test_custom_line_size_geometry(self):
+        cfg = CacheConfig("x", size_bytes=32 * 1024, associativity=8, latency=1,
+                          mshr_entries=8, line_bytes=32)
+        assert cfg.num_lines == 1024
+        assert cfg.num_sets == 128
+
 
 class TestTLBConfig:
     def test_num_sets(self):

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.recency import RecencyStack
+from repro.common.recency import NaiveRecencyStack, RecencyStack
 
 
 def make_stack(ways):
@@ -130,3 +130,73 @@ def test_place_at_depth_lands_at_clamped_depth(ways, depth):
     new_way = ways[-1]
     stack.place_at_depth(new_way, depth)
     assert stack.depth_from_mru(new_way) == min(depth, len(stack) - 1)
+
+
+# --------------------------------------------------------------------------- #
+# Differential tests: the O(1) linked-list stack against the naive list-based
+# reference model.  Any sequence of public operations must leave both in the
+# same MRU->LRU order — this is what licenses the DLL implementation to stand
+# in for the original without changing a single simulation metric.
+# --------------------------------------------------------------------------- #
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["touch", "place_depth", "place_above", "remove", "discard"]
+        ),
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=-2, max_value=15),
+    ),
+    max_size=80,
+)
+
+
+def _apply(stack, op, way, arg):
+    if op == "touch":
+        stack.touch(way)
+    elif op == "place_depth":
+        stack.place_at_depth(way, arg)
+    elif op == "place_above":
+        stack.place_above_lru(way, arg)
+    elif op == "remove":
+        stack.remove(way)
+    elif op == "discard":
+        stack.discard(way)
+
+
+class TestDifferential:
+    @settings(max_examples=300, deadline=None)
+    @given(ops=_OPS)
+    def test_linked_stack_matches_naive_reference(self, ops):
+        fast, ref = RecencyStack(), NaiveRecencyStack()
+        for op, way, arg in ops:
+            if op in ("touch", "remove") and way not in ref:
+                # Both implementations must reject the missing way.
+                with pytest.raises(ValueError):
+                    _apply(ref, op, way, arg)
+                with pytest.raises(ValueError):
+                    _apply(fast, op, way, arg)
+                continue
+            _apply(ref, op, way, arg)
+            _apply(fast, op, way, arg)
+            assert fast.order() == ref.order()
+            assert len(fast) == len(ref)
+
+    @settings(max_examples=150, deadline=None)
+    @given(ops=_OPS)
+    def test_derived_queries_agree(self, ops):
+        fast, ref = RecencyStack(), NaiveRecencyStack()
+        for op, way, arg in ops:
+            if op in ("touch", "remove") and way not in ref:
+                continue
+            _apply(ref, op, way, arg)
+            _apply(fast, op, way, arg)
+        assert list(fast) == list(ref)
+        assert list(fast.ways_from_lru()) == list(ref.ways_from_lru())
+        for way in ref.order():
+            assert fast.depth_from_mru(way) == ref.depth_from_mru(way)
+            assert fast.height_from_lru(way) == ref.height_from_lru(way)
+            assert way in fast
+        if len(ref):
+            assert fast.mru_way == ref.mru_way
+            assert fast.lru_way == ref.lru_way

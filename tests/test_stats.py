@@ -52,6 +52,18 @@ class TestLevelStats:
         lvl = LevelStats("LLC")
         assert lvl.mpki(0) == 0.0
 
+    def test_reset_is_in_place(self):
+        # The hot path binds the category dicts once; reset must zero the
+        # existing objects, never replace them.
+        lvl = LevelStats("L1D")
+        accesses, misses = lvl.cat_accesses, lvl.cat_misses
+        lvl.record_access("dt", hit=False, miss_latency=10)
+        lvl.reset()
+        assert lvl.cat_accesses is accesses
+        assert lvl.cat_misses is misses
+        assert all(v == 0 for v in accesses.values())
+        assert all(v == 0 for v in misses.values())
+
     def test_reset(self):
         lvl = LevelStats("L1D")
         lvl.record_access("d", hit=False, miss_latency=10)
@@ -94,6 +106,20 @@ class TestSimStats:
         assert report["stlb.dmpki"] == 0.0
         assert report["stlb.avg_miss_latency"] == 40.0
         assert report["ipc"] == 1.0
+
+    def test_reset_clears_dicts_in_place(self):
+        # Core/DRAM hold references to these dicts across the warmup
+        # boundary, so reset must clear them, not rebind the attributes.
+        stats = SimStats()
+        counters = stats.counters
+        per_thread = stats.per_thread_instructions
+        stats.bump("x", 3)
+        per_thread[0] = 100
+        stats.reset()
+        assert stats.counters is counters
+        assert stats.per_thread_instructions is per_thread
+        assert counters == {}
+        assert per_thread == {}
 
     def test_reset_keeps_level_objects(self):
         stats = SimStats()

@@ -70,10 +70,15 @@ class TestMemoryRequest:
         assert not req.is_data_pte
         assert not req.is_instr_pte
 
-    def test_frozen(self):
+    def test_slotted_and_mutable(self):
+        # Hot paths reuse one request object and rewrite its scalar fields;
+        # __slots__ still rejects accidental new attributes.
         req = MemoryRequest(address=0, req_type=RequestType.LOAD)
+        req.address = 64
+        assert req.line_address == 1
         with pytest.raises(AttributeError):
-            req.address = 1
+            req.not_a_field = 1
+        assert not hasattr(req, "__dict__")
 
 
 class TestHelpers:
