@@ -26,7 +26,7 @@ from ..common.types import AccessType, MemoryRequest, RequestType
 from ..replacement.base import CacheReplacementPolicy
 from ..replacement.drrip import DRRIPPolicy
 from .line import CacheLine
-from .mshr import MSHRFile
+from .mshr import make_mshr_file
 
 _IFETCH = RequestType.IFETCH
 _STORE = RequestType.STORE
@@ -83,7 +83,8 @@ class SetAssociativeCache:
         # iff the mapped way holds a valid line, so a full map means no
         # invalid way exists and the fill path can skip the scan.
         self._tag_maps: List[dict] = [dict() for _ in range(self.num_sets)]
-        self.mshrs = MSHRFile(config.mshr_entries)
+        # Swapped for the shadow-checked variant under REPRO_CHECK=1.
+        self.mshrs = make_mshr_file(config.mshr_entries)
         # DRRIP needs a per-miss callback; resolve the isinstance check once.
         self._drrip_record_miss = (
             policy.record_miss if isinstance(policy, DRRIPPolicy) else None

@@ -14,7 +14,7 @@ from typing import Optional
 from ..common.types import AccessType
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     valid: bool = False
     tag: int = 0
@@ -31,11 +31,11 @@ class CacheLine:
 
     @property
     def is_data_pte(self) -> bool:
-        return self.is_pte and self.translation_type == AccessType.DATA
+        return self.is_pte and self.translation_type is AccessType.DATA
 
     @property
     def is_instr_pte(self) -> bool:
-        return self.is_pte and self.translation_type == AccessType.INSTRUCTION
+        return self.is_pte and self.translation_type is AccessType.INSTRUCTION
 
     def invalidate(self) -> None:
         self.valid = False

@@ -13,8 +13,9 @@ simplified timing model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
+from ..common.invariants import InvariantViolation, enabled as _checks_enabled
 from ..common.types import AccessType, RequestType
 
 
@@ -77,7 +78,7 @@ class MSHRFile:
                 entry.is_pte = True
                 if entry.translation_type is None:
                     entry.translation_type = translation_type
-                elif translation_type == AccessType.DATA:
+                elif translation_type is AccessType.DATA:
                     entry.translation_type = AccessType.DATA
             return entry
         if len(self._entries) >= self.num_entries:
@@ -86,7 +87,8 @@ class MSHRFile:
             self.full_events += 1
             oldest = next(iter(self._entries))
             del self._entries[oldest]
-        entry = MSHREntry(block_address, req_type, is_pte, translation_type)
+        # One entry per outstanding miss: allocation happens off the hit path.
+        entry = MSHREntry(block_address, req_type, is_pte, translation_type)  # repro: allow[RPR001]
         self._entries[block_address] = entry
         self.allocations += 1
         return entry
@@ -98,3 +100,82 @@ class MSHRFile:
     def structural_penalty(self) -> int:
         """Extra cycles to charge if the file is (nearly) full."""
         return self.full_penalty if len(self._entries) >= self.num_entries else 0
+
+
+class CheckedMSHRFile(MSHRFile):
+    """MSHR file with a shadow copy of each entry's PTE ``Type`` bits.
+
+    The ``REPRO_CHECK=1`` variant built by :func:`make_mshr_file`.  Verifies
+    the Figure 7 propagation property: once any requester marks an
+    outstanding miss as a (data-)PTE line, the information must stick until
+    the fill releases the entry — merges may only strengthen it, and nothing
+    between allocation and release may rewrite the bits.
+    """
+
+    def __init__(self, num_entries: int, full_penalty: int = 2) -> None:
+        super().__init__(num_entries, full_penalty)
+        #: block_address -> (is_pte, translation_type) expected on release.
+        self._shadow: Dict[int, Tuple[bool, Optional[AccessType]]] = {}
+
+    def _expected_after_merge(
+        self, block_address: int, is_pte: bool, translation_type: Optional[AccessType]
+    ) -> Tuple[bool, Optional[AccessType]]:
+        old_pte, old_type = self._shadow[block_address]
+        if not is_pte:
+            return old_pte, old_type
+        new_type = old_type
+        if old_type is None:
+            new_type = translation_type
+        elif translation_type is AccessType.DATA:
+            new_type = AccessType.DATA
+        return True, new_type
+
+    def allocate(
+        self,
+        block_address: int,
+        req_type: RequestType,
+        is_pte: bool = False,
+        translation_type: Optional[AccessType] = None,
+    ) -> MSHREntry:
+        merging = block_address in self._entries
+        expected: Optional[Tuple[bool, Optional[AccessType]]] = None
+        if merging:
+            self._check_entry(block_address, "before merge into")
+            expected = self._expected_after_merge(block_address, is_pte, translation_type)
+        entry = super().allocate(block_address, req_type, is_pte, translation_type)
+        if expected is not None:
+            actual = (entry.is_pte, entry.translation_type)
+            if actual != expected:
+                raise InvariantViolation(
+                    f"MSHR merge weakened Type bits for block {block_address:#x}: "
+                    f"expected {expected}, got {actual}"
+                )
+        # Re-sync the shadow: a structural-hazard allocation may have retired
+        # the oldest entry, and a fresh allocation adds a new one.
+        self._shadow[block_address] = (entry.is_pte, entry.translation_type)
+        for stale in [b for b in self._shadow if b not in self._entries]:
+            del self._shadow[stale]
+        return entry
+
+    def release(self, block_address: int) -> Optional[MSHREntry]:
+        if block_address in self._entries:
+            self._check_entry(block_address, "at release of")
+        self._shadow.pop(block_address, None)
+        return super().release(block_address)
+
+    def _check_entry(self, block_address: int, when: str) -> None:
+        entry = self._entries[block_address]
+        expected = self._shadow.get(block_address)
+        actual = (entry.is_pte, entry.translation_type)
+        if expected is not None and actual != expected:
+            raise InvariantViolation(
+                f"MSHR entry Type bits corrupted {when} block {block_address:#x}: "
+                f"expected {expected}, got {actual}"
+            )
+
+
+def make_mshr_file(num_entries: int, full_penalty: int = 2) -> MSHRFile:
+    """Build an MSHR file, shadow-checked when ``REPRO_CHECK=1`` is set."""
+    if _checks_enabled():
+        return CheckedMSHRFile(num_entries, full_penalty)
+    return MSHRFile(num_entries, full_penalty)

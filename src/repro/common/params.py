@@ -249,7 +249,7 @@ class SystemConfig:
 TABLE1 = SystemConfig()
 
 
-def make_config(**overrides) -> SystemConfig:
+def make_config(**overrides: object) -> SystemConfig:
     """Build a :class:`SystemConfig` starting from Table 1 with overrides."""
     return replace(TABLE1, **overrides)
 
@@ -271,7 +271,7 @@ def inorder_core() -> CoreConfig:
     )
 
 
-def scaled_config(scale: int = 4, **overrides) -> SystemConfig:
+def scaled_config(scale: int = 4, **overrides: object) -> SystemConfig:
     """Table 1 with all capacity structures divided by ``scale``.
 
     The paper simulates 150 M instructions per experiment; a pure-Python

@@ -32,8 +32,8 @@ CATEGORIES = ("d", "i", "dt", "it")
 def categorize(req: MemoryRequest) -> str:
     """Bucket a request into the paper's four MPKI categories."""
     if req.is_pte:
-        return "dt" if req.translation_type == AccessType.DATA else "it"
-    if req.req_type == RequestType.IFETCH:
+        return "dt" if req.translation_type is AccessType.DATA else "it"
+    if req.req_type is RequestType.IFETCH:
         return "i"
     return "d"
 

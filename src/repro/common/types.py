@@ -84,11 +84,11 @@ class MemoryRequest:
 
     @property
     def is_data_pte(self) -> bool:
-        return self.is_pte and self.translation_type == AccessType.DATA
+        return self.is_pte and self.translation_type is AccessType.DATA
 
     @property
     def is_instr_pte(self) -> bool:
-        return self.is_pte and self.translation_type == AccessType.INSTRUCTION
+        return self.is_pte and self.translation_type is AccessType.INSTRUCTION
 
 
 class TraceRecord(NamedTuple):

@@ -11,6 +11,7 @@ from typing import Callable, Optional
 
 from ..cache.cache import SetAssociativeCache
 from ..cache.prefetch import make_prefetcher
+from ..common import invariants
 from ..common.params import SystemConfig
 from ..common.stats import SimStats
 from ..common.types import PageSize
@@ -85,8 +86,12 @@ class System:
         self.stats.reset()
         self.adaptive.reset_stats()
         self.mmu.reset_stats()
+        self.walker.reset_stats()
+        self.dram.reset_stats()
         for cache in (self.l1i, self.l1d, self.l2c, self.llc):
             cache.reset_stats()
+        if invariants.enabled():
+            invariants.check_no_leaked_mshr_entries(self)
 
     @property
     def xptp_policy(self) -> Optional[XPTPPolicy]:

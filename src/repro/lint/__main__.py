@@ -1,0 +1,59 @@
+"""CLI: ``python -m repro.lint [paths...] [--format=text|github]``.
+
+Exit status 0 when the tree is clean, 1 when any rule fired.  With no
+paths, lints the installed ``repro`` package itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .diagnostics import render
+from .rules import all_rules
+from .runner import lint_paths
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Simulator-aware static analysis for the repro tree.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="output style: plain text or GitHub Actions annotations",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    paths = args.paths or [str(Path(__file__).resolve().parents[1])]
+    diagnostics = lint_paths(paths)
+    for line in render(diagnostics, args.format):
+        print(line)
+    if diagnostics:
+        print(
+            f"repro.lint: {len(diagnostics)} finding(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Diagnostic record and output formatting for ``repro.lint``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where it is, which rule fired, and why."""
+
+    path: str  #: Display path (as given on the command line).
+    relkey: str  #: Path relative to the ``repro`` package (rule scoping key).
+    line: int  #: 1-based line the finding anchors to.
+    code: str  #: Rule code, e.g. ``RPR001``.
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.code, self.message)
+
+
+def format_text(diag: Diagnostic) -> str:
+    return f"{diag.path}:{diag.line}: {diag.code} {diag.message}"
+
+
+def format_github(diag: Diagnostic) -> str:
+    """GitHub Actions workflow-command annotation (shows inline on the PR)."""
+    return f"::error file={diag.path},line={diag.line},title={diag.code}::{diag.message}"
+
+
+_FORMATTERS = {"text": format_text, "github": format_github}
+
+
+def render(diagnostics: Iterable[Diagnostic], fmt: str = "text") -> List[str]:
+    formatter = _FORMATTERS[fmt]
+    return [formatter(d) for d in sorted(diagnostics, key=Diagnostic.sort_key)]

@@ -1,0 +1,109 @@
+"""Hot-path manifest: what the simulator promises about its fast paths.
+
+PR 2's optimisation contract lives here as data so ``repro.lint`` can
+enforce it structurally.  Keys are *relkeys* — paths relative to the
+``repro`` package with ``/`` separators (``cache/cache.py``) — which makes
+the manifest independent of where the tree is checked out.
+
+Functions and classes can also opt in at the definition site:
+
+* ``# repro: hot`` on (or immediately above) a ``def`` line marks the
+  function hot for RPR001 without a manifest entry;
+* ``# repro: allow[RPRnnn]`` on (or immediately above) a flagged line
+  suppresses that rule there — every suppression should carry a rationale
+  comment, and ``docs/static-analysis.md`` catalogues the sanctioned ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+#: Functions (qualified as ``Class.method`` or bare function name) that run
+#: per memory reference / per miss.  RPR001 forbids allocation inside them.
+HOT_FUNCTIONS: Dict[str, FrozenSet[str]] = {
+    "core/cpu.py": frozenset(
+        {"Core.execute", "Core._data_access", "Core._overlap"}
+    ),
+    "cache/cache.py": frozenset(
+        {
+            "SetAssociativeCache.access",
+            "SetAssociativeCache._fill",
+            "SetAssociativeCache._strengthen_type",
+        }
+    ),
+    "cache/mshr.py": frozenset(
+        {
+            "MSHRFile.lookup",
+            "MSHRFile.allocate",
+            "MSHRFile.release",
+            "MSHRFile.structural_penalty",
+        }
+    ),
+    "tlb/tlb.py": frozenset({"TLB.lookup", "TLB.insert", "TLB.record_miss"}),
+    "tlb/hierarchy.py": frozenset({"MMU.translate", "MMU._account_translation"}),
+    "common/recency.py": frozenset(
+        {
+            "RecencyStack.touch",
+            "RecencyStack.remove",
+            "RecencyStack.discard",
+            "RecencyStack.place_at_depth",
+            "RecencyStack.place_above_lru",
+            "RecencyStack.ways_from_lru",
+        }
+    ),
+    "common/stats.py": frozenset({"categorize"}),
+    "ptw/walker.py": frozenset({"PageTableWalker.walk"}),
+    "mem/dram.py": frozenset({"DRAM.access"}),
+}
+
+#: Mutable classes instantiated per set/way/reference; RPR002 requires each
+#: to be slotted (``__slots__`` or ``@dataclass(slots=True)``).
+HOT_CLASSES: FrozenSet[str] = frozenset(
+    {
+        "CacheLine",
+        "TLBEntry",
+        "MemoryRequest",
+        "AccessResult",
+        "LevelStats",
+        "RecencyStack",
+        "NaiveRecencyStack",
+        "MSHREntry",
+        "TranslationResult",
+    }
+)
+
+#: Enum classes whose members are singletons compared with ``is`` on hot
+#: paths (they are IntEnums, so ``==`` would go through ``__eq__``).
+ENUM_CLASSES: FrozenSet[str] = frozenset({"AccessType", "RequestType", "PageSize"})
+
+#: Relkey prefixes of the modules the hot-path rules (RPR003/RPR004) scan.
+#: Analysis, experiments, workloads and the linter itself are cold code.
+HOT_MODULE_PREFIXES = (
+    "common/",
+    "cache/",
+    "tlb/",
+    "ptw/",
+    "core/",
+    "mem/",
+    "replacement/",
+)
+
+#: Classes owning statistics counters outside LevelStats/SimStats; RPR004
+#: requires each to clear its counters in a ``reset``/``reset_stats`` method.
+STATS_BEARING: FrozenSet[str] = frozenset(
+    {
+        "MSHRFile",
+        "DRAM",
+        "PageStructureCache",
+        "SplitPSC",
+        "XPTPPolicy",
+        "AdaptiveXPTPController",
+        "MMU",
+    }
+)
+
+#: The one module allowed to construct/mutate Table 1 parameters (RPR005).
+PARAMS_RELKEY = "common/params.py"
+
+#: Relkey of the stats schema module RPR004 validates counters against.
+STATS_RELKEY = "common/stats.py"

@@ -1,0 +1,67 @@
+"""Rule protocol and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+
+
+class Rule:
+    """One static-analysis pass over the prepared file set."""
+
+    code: str = "RPR000"
+    summary: str = ""
+
+    def check(self, files: Sequence[FileContext]) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, ctx: FileContext, line: int, message: str) -> Diagnostic:
+        return Diagnostic(ctx.path, ctx.relkey, line, self.code, message)
+
+
+def attribute_chain(node: ast.expr) -> Optional[List[str]]:
+    """Dotted-name components of an attribute chain, root first.
+
+    ``self.config.stlb.latency`` → ``["self", "config", "stlb", "latency"]``.
+    Subscripts are looked through (``a.b[i].c`` keeps ``["a", "b", "c"]``);
+    returns ``None`` when the chain is rooted in a call or other expression.
+    """
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return list(reversed(parts))
+        else:
+            return None
+
+
+def iter_functions(tree: ast.Module) -> Iterator[tuple]:
+    """Yield ``(qualname, node)`` for every function, using class scoping.
+
+    Qualnames are ``Class.method`` / ``function`` / ``Outer.inner`` — the
+    form the hot-path manifest uses.
+    """
+
+    def visit(node: ast.AST, stack: List[str]) -> Iterator[tuple]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = ".".join(stack + [child.name])
+                yield qual, child
+                yield from visit(child, stack + [child.name])
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, stack + [child.name])
+
+    yield from visit(tree, [])
+
+
+def attr_names_in(node: ast.AST) -> set:
+    """Every attribute name mentioned anywhere under ``node``."""
+    return {n.attr for n in ast.walk(node) if isinstance(n, ast.Attribute)}

@@ -1,0 +1,76 @@
+"""RPR003 — enum members are compared with ``is`` in hot modules.
+
+``AccessType``/``RequestType``/``PageSize`` are IntEnums: their members are
+singletons, so identity comparison is both correct and a single pointer
+compare, where ``==`` dispatches through ``__eq__``.  The rule recognises
+direct member accesses (``AccessType.DATA``) and the module-level alias
+convention (``_DATA = AccessType.DATA``) the hot paths use.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence, Set
+
+from .. import manifest
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from .base import Rule
+
+
+def _module_enum_aliases(tree: ast.Module) -> Set[str]:
+    """Names bound at module level to an enum member (``_DATA = ...``)."""
+    aliases: Set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        value = node.value
+        if (
+            isinstance(target, ast.Name)
+            and isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id in manifest.ENUM_CLASSES
+        ):
+            aliases.add(target.id)
+    return aliases
+
+
+def _is_enum_member(node: ast.expr, aliases: Set[str]) -> bool:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in manifest.ENUM_CLASSES
+    ):
+        return True
+    return isinstance(node, ast.Name) and node.id in aliases
+
+
+class EnumComparisonRule(Rule):
+    code = "RPR003"
+    summary = "enum members compared with 'is' in hot modules"
+
+    def check(self, files: Sequence[FileContext]) -> Iterator[Diagnostic]:
+        for ctx in files:
+            if ctx.tree is None:
+                continue
+            if not ctx.relkey.startswith(manifest.HOT_MODULE_PREFIXES):
+                continue
+            aliases = _module_enum_aliases(ctx.tree)
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Compare):
+                    continue
+                operands = [node.left, *node.comparators]
+                for i, op in enumerate(node.ops):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    pair = (operands[i], operands[i + 1])
+                    if any(_is_enum_member(o, aliases) for o in pair):
+                        wanted = "is" if isinstance(op, ast.Eq) else "is not"
+                        found = "==" if isinstance(op, ast.Eq) else "!="
+                        yield self.diag(
+                            ctx,
+                            node.lineno,
+                            f"enum member compared with '{found}'; members are "
+                            f"singletons — use '{wanted}'",
+                        )

@@ -1,0 +1,81 @@
+"""RPR005 — Table 1 parameters are read-only outside config construction.
+
+The paper's Table 1 lives in ``repro/common/params.py`` as frozen
+dataclasses plus the ``TABLE1`` instance; experiments derive variants with
+``dataclasses.replace``.  Any attribute write that goes *through* a config
+object (``...config.attr... = value``, ``TABLE1.x = value``) or a
+``setattr``/``object.__setattr__`` aimed at one would silently change the
+modelled hardware mid-run, so everywhere except ``params.py`` itself such
+writes are flagged.  Rebinding a ``config`` attribute itself
+(``self.config = cfg``) is fine — the rule fires only when a config link
+is an *intermediate* component of the assigned chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence
+
+from .. import manifest
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from .base import Rule, attribute_chain
+
+
+def _is_config_chain(parts: Optional[List[str]]) -> bool:
+    """True when the assigned chain passes *through* a config object."""
+    if not parts or len(parts) < 2:
+        return False
+    intermediates = parts[:-1]
+    return "TABLE1" in intermediates or "config" in intermediates
+
+
+def _setattr_target(node: ast.Call) -> Optional[List[str]]:
+    func = node.func
+    name = ""
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name not in ("setattr", "__setattr__") or not node.args:
+        return None
+    return attribute_chain(node.args[0]) or (
+        [node.args[0].id] if isinstance(node.args[0], ast.Name) else None
+    )
+
+
+class ParamsImmutabilityRule(Rule):
+    code = "RPR005"
+    summary = "Table 1 parameters are never mutated outside config construction"
+
+    def check(self, files: Sequence[FileContext]) -> Iterator[Diagnostic]:
+        for ctx in files:
+            if ctx.tree is None or ctx.relkey == manifest.PARAMS_RELKEY:
+                continue
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                            continue
+                        if _is_config_chain(attribute_chain(target)):
+                            yield self.diag(
+                                ctx,
+                                node.lineno,
+                                "assignment mutates a frozen Table 1 config "
+                                f"('{ast.unparse(target)}'); derive variants with "
+                                "dataclasses.replace in params.py instead",
+                            )
+                elif isinstance(node, ast.Call):
+                    chain = _setattr_target(node)
+                    if chain and ("TABLE1" in chain or "config" in chain):
+                        yield self.diag(
+                            ctx,
+                            node.lineno,
+                            "setattr on a frozen Table 1 config object; derive "
+                            "variants with dataclasses.replace in params.py instead",
+                        )

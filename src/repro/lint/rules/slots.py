@@ -1,0 +1,77 @@
+"""RPR002 — hot-path mutable classes must declare ``__slots__``.
+
+Instances of the classes in :data:`repro.lint.manifest.HOT_CLASSES` exist
+per cache line / TLB way / in-flight request; ``__slots__`` (directly or
+via ``@dataclass(slots=True)``) removes the per-instance ``__dict__`` and
+makes attribute access a fixed-offset load.  ``NamedTuple``/``Protocol``
+subclasses are exempt — they have no instance dict to begin with.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from .. import manifest
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from .base import Rule
+
+_EXEMPT_BASES = frozenset({"NamedTuple", "Protocol"})
+
+
+def _base_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _declares_slots(cls: ast.ClassDef) -> bool:
+    for item in cls.body:
+        targets = []
+        if isinstance(item, ast.Assign):
+            targets = item.targets
+        elif isinstance(item, ast.AnnAssign):
+            targets = [item.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    for deco in cls.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        if _base_name(deco.func) != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if (
+                kw.arg == "slots"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    return False
+
+
+class SlotsRule(Rule):
+    code = "RPR002"
+    summary = "hot-path mutable classes declare __slots__"
+
+    def check(self, files: Sequence[FileContext]) -> Iterator[Diagnostic]:
+        for ctx in files:
+            if ctx.tree is None:
+                continue
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if node.name not in manifest.HOT_CLASSES:
+                    continue
+                if any(_base_name(b) in _EXEMPT_BASES for b in node.bases):
+                    continue
+                if not _declares_slots(node):
+                    yield self.diag(
+                        ctx,
+                        node.lineno,
+                        f"hot-path class '{node.name}' does not declare __slots__ "
+                        "(use __slots__ or @dataclass(slots=True))",
+                    )

@@ -1,0 +1,219 @@
+"""RPR004 — every counter is declared in the stats schema and reset.
+
+Two coupled checks, both derived from parsing ``common/stats.py`` (the
+linted tree's copy when present, the packaged one otherwise):
+
+* **Schema/reset coverage for LevelStats/SimStats increments.**  Any
+  ``stats.X += ...`` / ``self.stats.X += ...`` / ``stats.X[k] += ...``
+  site anywhere in the hot modules must name a counter that (a) exists in
+  ``LevelStats.__slots__`` or as a ``SimStats`` field and (b) is mentioned
+  by the corresponding ``reset()`` — otherwise the measurement window
+  silently inherits warmup counts (the PR 1 bug class).
+
+* **Stats-bearing structures clear their own counters.**  Classes in
+  :data:`repro.lint.manifest.STATS_BEARING` own counters outside the
+  central stats objects (public attributes initialised to ``0``/``0.0`` or
+  incremented via ``self.X +=``).  Each must define ``reset``/
+  ``reset_stats`` mentioning every such counter.  Genuine *state* counters
+  (read-and-clear windows) opt out with ``# repro: allow[RPR004]`` at the
+  initialisation site.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .. import manifest
+from ..context import FileContext, find_file
+from ..diagnostics import Diagnostic
+from .base import Rule, attr_names_in
+
+
+class StatsSchema:
+    """Counter names and reset coverage extracted from ``stats.py``."""
+
+    def __init__(self) -> None:
+        self.level_counters: Set[str] = set()
+        self.sim_counters: Set[str] = set()
+        self.reset_names: Set[str] = set()
+
+    @property
+    def declared(self) -> Set[str]:
+        return self.level_counters | self.sim_counters
+
+
+def _extract_schema(tree: ast.Module) -> StatsSchema:
+    schema = StatsSchema()
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name == "LevelStats":
+            for item in node.body:
+                if isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name) and target.id == "__slots__":
+                            for elt in ast.walk(item.value):
+                                if isinstance(elt, ast.Constant) and isinstance(
+                                    elt.value, str
+                                ):
+                                    schema.level_counters.add(elt.value)
+                elif isinstance(item, ast.FunctionDef) and item.name == "reset":
+                    schema.reset_names |= attr_names_in(item)
+        elif node.name == "SimStats":
+            for item in node.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    schema.sim_counters.add(item.target.id)
+                elif isinstance(item, ast.FunctionDef) and item.name == "reset":
+                    schema.reset_names |= attr_names_in(item)
+    return schema
+
+
+def _load_schema(files: Sequence[FileContext]) -> Optional[StatsSchema]:
+    ctx = find_file(files, manifest.STATS_RELKEY)
+    if ctx is not None and ctx.tree is not None:
+        return _extract_schema(ctx.tree)
+    packaged = Path(__file__).resolve().parents[2] / "common" / "stats.py"
+    try:
+        return _extract_schema(ast.parse(packaged.read_text()))
+    except (OSError, SyntaxError):  # pragma: no cover - packaged file exists
+        return None
+
+
+def _stats_rooted_counter(target: ast.expr) -> Optional[str]:
+    """Counter name if ``target`` is an attribute (or item) of a stats object."""
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if not isinstance(target, ast.Attribute):
+        return None
+    owner = target.value
+    if isinstance(owner, ast.Name) and owner.id in ("stats", "_stats"):
+        return target.attr
+    if isinstance(owner, ast.Attribute) and owner.attr in ("stats", "_stats"):
+        return target.attr
+    return None
+
+
+_ZERO = (0, 0.0)
+
+
+def _counter_sites(cls: ast.ClassDef) -> Dict[str, int]:
+    """Public counter attributes of a stats-bearing class → defining line."""
+    sites: Dict[str, int] = {}
+
+    def note(name: str, lineno: int, *, prefer: bool = False) -> None:
+        if name.startswith("_"):
+            return
+        if prefer or name not in sites:
+            sites[name] = lineno
+
+    for func in cls.body:
+        if not isinstance(func, ast.FunctionDef):
+            continue
+        is_init = func.name == "__init__"
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and is_init:
+                if not (
+                    isinstance(node.value, ast.Constant)
+                    and type(node.value.value) in (int, float)
+                    and node.value.value in _ZERO
+                ):
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        note(target.attr, target.lineno, prefer=True)
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    note(target.attr, target.lineno)
+    return sites
+
+
+def _reset_method(cls: ast.ClassDef) -> Optional[ast.FunctionDef]:
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name in ("reset_stats", "reset"):
+            return item
+    return None
+
+
+class StatsResetRule(Rule):
+    code = "RPR004"
+    summary = "counters are declared in the stats schema and cleared by reset()"
+
+    def check(self, files: Sequence[FileContext]) -> Iterator[Diagnostic]:
+        schema = _load_schema(files)
+        for ctx in files:
+            if ctx.tree is None:
+                continue
+            if not ctx.relkey.startswith(manifest.HOT_MODULE_PREFIXES):
+                continue
+            if schema is not None and ctx.relkey != manifest.STATS_RELKEY:
+                yield from self._check_increments(ctx, schema)
+            yield from self._check_bearing_classes(ctx)
+
+    def _check_increments(
+        self, ctx: FileContext, schema: StatsSchema
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            counter = _stats_rooted_counter(node.target)
+            if counter is None:
+                continue
+            if counter not in schema.declared:
+                yield self.diag(
+                    ctx,
+                    node.lineno,
+                    f"increments stats counter '{counter}' which is not declared "
+                    "in the LevelStats/SimStats schema",
+                )
+            elif counter not in schema.reset_names:
+                yield self.diag(
+                    ctx,
+                    node.lineno,
+                    f"stats counter '{counter}' is never cleared by reset(); "
+                    "measurement would inherit warmup counts",
+                )
+
+    def _check_bearing_classes(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name not in manifest.STATS_BEARING:
+                continue
+            sites: Dict[str, int] = _counter_sites(node)
+            if not sites:
+                continue
+            reset = _reset_method(node)
+            if reset is None:
+                yield self.diag(
+                    ctx,
+                    node.lineno,
+                    f"stats-bearing class '{node.name}' defines counters "
+                    f"({', '.join(sorted(sites))}) but no reset_stats()/reset()",
+                )
+                continue
+            cleared = attr_names_in(reset)
+            missing: List[Tuple[int, str]] = [
+                (lineno, name)
+                for name, lineno in sites.items()
+                if name not in cleared
+            ]
+            for lineno, name in sorted(missing):
+                yield self.diag(
+                    ctx,
+                    lineno,
+                    f"counter '{node.name}.{name}' is not cleared by "
+                    f"{node.name}.{reset.name}()",
+                )

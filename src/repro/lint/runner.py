@@ -1,0 +1,70 @@
+"""Drive the rule set over files, sources or directory trees."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .context import FileContext
+from .diagnostics import Diagnostic
+from .rules import all_rules
+from .rules.base import Rule
+
+
+def _contexts_for_paths(paths: Iterable[str]) -> List[FileContext]:
+    contexts: List[FileContext] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            targets = sorted(path.rglob("*.py"))
+        else:
+            targets = [path]
+        for target in targets:
+            contexts.append(FileContext(str(target), target.read_text()))
+    return contexts
+
+
+def lint_files(
+    files: Sequence[FileContext], rules: Optional[Sequence[Rule]] = None
+) -> List[Diagnostic]:
+    """Run ``rules`` (default: all) over prepared contexts.
+
+    Syntax errors surface as ``RPR000`` diagnostics; suppressed findings
+    (``# repro: allow[RPRnnn]`` on the flagged line or the line above) are
+    dropped here so individual rules stay suppression-agnostic.
+    """
+    by_key: Dict[str, FileContext] = {ctx.path: ctx for ctx in files}
+    diagnostics: List[Diagnostic] = [
+        Diagnostic(
+            ctx.path,
+            ctx.relkey,
+            ctx.syntax_error.lineno or 1,
+            "RPR000",
+            f"syntax error: {ctx.syntax_error.msg}",
+        )
+        for ctx in files
+        if ctx.syntax_error is not None
+    ]
+    for rule in rules if rules is not None else all_rules():
+        for diag in rule.check(files):
+            ctx = by_key[diag.path]
+            if not ctx.is_suppressed(diag.line, diag.code):
+                diagnostics.append(diag)
+    return sorted(diagnostics, key=Diagnostic.sort_key)
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Diagnostic]:
+    """Lint files and directory trees given as filesystem paths."""
+    return lint_files(_contexts_for_paths(paths), rules)
+
+
+def lint_sources(
+    sources: Mapping[str, str], rules: Optional[Sequence[Rule]] = None
+) -> List[Diagnostic]:
+    """Lint in-memory sources keyed by relkey (used by the rule fixtures)."""
+    contexts = [
+        FileContext(name, text, relkey=name) for name, text in sources.items()
+    ]
+    return lint_files(contexts, rules)

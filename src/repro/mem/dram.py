@@ -38,6 +38,16 @@ class DRAM:
         self.row_hits = 0
         self.row_misses = 0
 
+    def reset_stats(self) -> None:
+        """Clear row-buffer event counters at the warmup/measurement boundary.
+
+        Open-row state (and the bandwidth window) is microarchitectural state
+        and survives; only the statistics are zeroed, so measurement-window
+        ``dram.row_hits``/``dram.row_misses`` exclude warmup activity.
+        """
+        self.row_hits = 0
+        self.row_misses = 0
+
     def _row_buffer_latency(self, address: int) -> int:
         cfg = self.config
         row = address // cfg.row_bytes

@@ -55,6 +55,14 @@ class PageStructureCache:
             entries.popitem(last=False)
         entries[key] = frame
 
+    def reset_stats(self) -> None:
+        """Clear hit/miss diagnostics at the warmup/measurement boundary.
+
+        Cached pointers are microarchitectural state and survive the reset.
+        """
+        self.hits = 0
+        self.misses = 0
+
     def invalidate_all(self) -> None:
         for entries in self._sets:
             entries.clear()
@@ -77,6 +85,11 @@ class SplitPSC:
             4: PageStructureCache("PSCL4", config.pscl4_entries, config.pscl4_assoc),
             5: PageStructureCache("PSCL5", config.pscl5_entries, config.pscl5_assoc),
         }
+
+    def reset_stats(self) -> None:
+        """Clear per-structure hit/miss diagnostics (warmup boundary)."""
+        for cache in self.caches.values():
+            cache.reset_stats()
 
     @staticmethod
     def key_for(vpn: int, level: int) -> int:

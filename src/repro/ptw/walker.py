@@ -9,6 +9,11 @@ instruction/data translation type, which is what xPTP's Type bit observes.
 Timing simplification (DESIGN.md §3): the paper's walker supports up to 4
 concurrent walks; this model charges walks sequentially, which is the
 conservative choice and does not change policy orderings.
+
+Hot-path notes: :meth:`PageTableWalker.walk` runs on every STLB miss, so the
+counter names it bumps are precomputed module constants (no f-strings) and
+the step/PSC-refill loops iterate the walk path in place instead of building
+filtered copies.
 """
 
 from __future__ import annotations
@@ -20,6 +25,31 @@ from ..common.stats import SimStats
 from ..common.types import AccessType, MemoryRequest, PAGE_BITS, PageSize, RequestType
 from .page_table import PageTable, WalkPath
 from .psc import SplitPSC
+
+_INSTRUCTION = AccessType.INSTRUCTION
+
+#: PSC hit counters by the level that hit (PSCLk), precomputed for the hot
+#: walk path.  Level 1 never appears: PSCL2 is the deepest structure.
+_PSCL_HIT_COUNTERS = {
+    2: "ptw.pscl2_hits",
+    3: "ptw.pscl3_hits",
+    4: "ptw.pscl4_hits",
+    5: "ptw.pscl5_hits",
+}
+_PSC_MISS_COUNTER = "ptw.psc_misses"
+
+#: (walks, walk_cycles, walk_refs) counter-name triples, by translation kind
+#: and demand/prefetch origin.
+_WALK_COUNTERS = {
+    (False, False): ("ptw.data_walks", "ptw.data_walk_cycles", "ptw.data_walk_refs"),
+    (False, True): ("ptw.instr_walks", "ptw.instr_walk_cycles", "ptw.instr_walk_refs"),
+    (True, False): ("ptw.pf_data_walks", "ptw.pf_data_walk_cycles", "ptw.pf_data_walk_refs"),
+    (True, True): ("ptw.pf_instr_walks", "ptw.pf_instr_walk_cycles", "ptw.pf_instr_walk_refs"),
+}
+
+#: Sentinel resume level on a full PSC miss: deeper than any real table level,
+#: so every step of the walk path is charged.
+_WALK_ALL_LEVELS = 99
 
 
 class WalkResult(NamedTuple):
@@ -50,6 +80,10 @@ class PageTableWalker:
             address=0, req_type=RequestType.PTW, is_pte=True
         )
 
+    def reset_stats(self) -> None:
+        """Clear PSC hit/miss diagnostics at the warmup/measurement boundary."""
+        self.psc.reset_stats()
+
     def walk(
         self,
         vaddr: int,
@@ -59,16 +93,17 @@ class PageTableWalker:
     ) -> WalkResult:
         vpn = vaddr >> PAGE_BITS
         path: WalkPath = self.page_table.walk_path(vaddr)
+        steps = path.steps
+        bump = self.stats.bump
 
         latency = self.psc_latency
         hit = self.psc.deepest_hit(vpn)
         if hit is not None:
             resume_level = hit[0] - 1  # PSCLk knows the level-(k-1) table
-            steps = [s for s in path.steps if s.level <= resume_level]
-            self.stats.bump(f"ptw.pscl{hit[0]}_hits")
+            bump(_PSCL_HIT_COUNTERS[hit[0]])
         else:
-            steps = list(path.steps)
-            self.stats.bump("ptw.psc_misses")
+            resume_level = _WALK_ALL_LEVELS
+            bump(_PSC_MISS_COUNTER)
 
         references = 0
         req = self._ptw_req
@@ -76,18 +111,22 @@ class PageTableWalker:
         req.thread_id = thread_id
         access = self.memory_level.access
         for step in steps:
+            if step.level > resume_level:
+                continue
             req.address = step.entry_address
             latency += access(req)
             references += 1
 
         # Refill the PSCs along the traversed path: reading the level-k
         # entry reveals the level-(k-1) table frame.
-        for upper, lower in zip(path.steps, path.steps[1:]):
-            self.psc.fill(vpn, upper.level, lower.entry_address >> PAGE_BITS)
+        fill = self.psc.fill
+        for i in range(len(steps) - 1):
+            fill(vpn, steps[i].level, steps[i + 1].entry_address >> PAGE_BITS)
 
-        kind = "instr" if translation_type == AccessType.INSTRUCTION else "data"
-        prefix = "ptw.pf_" if prefetch else "ptw."
-        self.stats.bump(f"{prefix}{kind}_walks")
-        self.stats.bump(f"{prefix}{kind}_walk_cycles", latency)
-        self.stats.bump(f"{prefix}{kind}_walk_refs", references)
-        return WalkResult(latency, path.pfn, path.page_size, references)
+        names = _WALK_COUNTERS[(prefetch, translation_type is _INSTRUCTION)]
+        bump(names[0])
+        bump(names[1], latency)
+        bump(names[2], references)
+        # One WalkResult per resolved miss: walks are off the per-reference
+        # fast path, and the caller needs the four fields together.
+        return WalkResult(latency, path.pfn, path.page_size, references)  # repro: allow[RPR001]

@@ -2,15 +2,15 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence
 
-from typing import TYPE_CHECKING
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..cache.line import CacheLine
+from ..common.invariants import stack_factory
 from ..common.recency import RecencyStack
 from ..common.types import MemoryRequest
 from .base import CacheReplacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.line import CacheLine
 
 
 class LRUPolicy(CacheReplacementPolicy):
@@ -24,7 +24,9 @@ class LRUPolicy(CacheReplacementPolicy):
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
-        self.stacks: List[RecencyStack] = [self.stack_cls() for _ in range(num_sets)]
+        # stack_factory swaps in the differential checker under REPRO_CHECK=1.
+        make_stack = stack_factory(self.stack_cls)
+        self.stacks: List[RecencyStack] = [make_stack() for _ in range(num_sets)]
 
     def victim(self, set_index: int, lines: Sequence[CacheLine], req: MemoryRequest) -> int:
         return self.stacks[set_index].lru_way

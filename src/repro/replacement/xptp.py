@@ -21,14 +21,13 @@ separate LRU implementation is needed — as the paper notes.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from typing import TYPE_CHECKING
+from ..common.types import MemoryRequest
+from .lru import LRUPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cache.line import CacheLine
-from ..common.types import MemoryRequest
-from .lru import LRUPolicy
 
 
 class XPTPPolicy(LRUPolicy):

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from ..common.types import AccessType, PageSize
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBEntry:
     valid: bool = False
     key: int = 0                 # (vpn, page-size) lookup key, set by the TLB
@@ -26,7 +26,7 @@ class TLBEntry:
 
     @property
     def is_instruction(self) -> bool:
-        return self.access_type == AccessType.INSTRUCTION
+        return self.access_type is AccessType.INSTRUCTION
 
     def invalidate(self) -> None:
         self.valid = False

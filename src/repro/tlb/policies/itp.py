@@ -46,7 +46,7 @@ class ITPPolicy(TLBLRUPolicy):
         self, set_index: int, way: int, entries: Sequence[TLBEntry], access_type: AccessType
     ) -> None:
         stack = self.stacks[set_index]
-        if access_type == AccessType.INSTRUCTION:
+        if access_type is AccessType.INSTRUCTION:
             entries[way].freq = 0
             stack.place_at_depth(way, self.config.insert_depth_n)
         else:
@@ -58,7 +58,7 @@ class ITPPolicy(TLBLRUPolicy):
     ) -> None:
         stack = self.stacks[set_index]
         entry = entries[way]
-        if access_type == AccessType.INSTRUCTION:
+        if access_type is AccessType.INSTRUCTION:
             if entry.freq >= self.config.freq_max:
                 stack.place_at_depth(way, 0)
             else:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ...common.invariants import stack_factory
 from ...common.recency import RecencyStack
 from ...common.types import AccessType
 from ..entry import TLBEntry
@@ -19,7 +20,9 @@ class TLBLRUPolicy(TLBReplacementPolicy):
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
-        self.stacks: List[RecencyStack] = [self.stack_cls() for _ in range(num_sets)]
+        # stack_factory swaps in the differential checker under REPRO_CHECK=1.
+        make_stack = stack_factory(self.stack_cls)
+        self.stacks: List[RecencyStack] = [make_stack() for _ in range(num_sets)]
 
     def victim(self, set_index: int, entries: Sequence[TLBEntry]) -> int:
         return self.stacks[set_index].lru_way

@@ -22,7 +22,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, Optional
 
-from ..common.types import AccessType, PAGE_BITS
+from ..common.types import AccessType
 
 
 class STLBPrefetcher(abc.ABC):

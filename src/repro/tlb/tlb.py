@@ -168,5 +168,5 @@ class TLB:
             1
             for s in self.sets
             for e in s
-            if e.valid and e.access_type == AccessType.INSTRUCTION
+            if e.valid and e.access_type is AccessType.INSTRUCTION
         )

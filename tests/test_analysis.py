@@ -1,6 +1,5 @@
 """Unit + property tests for the analysis subpackage."""
 
-import itertools
 import random
 from collections import OrderedDict
 

@@ -2,7 +2,7 @@
 
 from repro.common.types import AccessType, MemoryRequest, RequestType
 
-from .helpers import StubMemory, line_addr, load, make_cache, ptw, store
+from .helpers import line_addr, load, make_cache, ptw, store
 
 
 def two_level(upper_sets=2, upper_assoc=2, lower_sets=8, lower_assoc=4):

@@ -4,9 +4,9 @@ from dataclasses import replace
 
 import pytest
 
-from repro.common.params import CoreConfig, scaled_config
+from repro.common.params import scaled_config
 from repro.common.types import TraceRecord
-from repro.core.cpu import Core, THREAD_TAG_SHIFT
+from repro.core.cpu import Core
 from repro.core.system import System
 from repro.replacement.tdrrip import TDRRIPPolicy
 from repro.replacement.xptp import XPTPPolicy

@@ -2,7 +2,7 @@
 
 from repro.common.params import AdaptiveConfig, DRAMConfig, scaled_config
 from repro.common.stats import LevelStats, SimStats
-from repro.common.types import AccessType, MemoryRequest, RequestType
+from repro.common.types import MemoryRequest, RequestType
 from repro.core.adaptive import AdaptiveXPTPController
 from repro.mem.dram import DRAM
 from repro.ptw.page_table import PageTable

@@ -5,7 +5,6 @@ caught before the (slow) benchmark run.  Each test only checks structure
 and basic sanity, not the paper shapes — those are the benches' job.
 """
 
-import pytest
 
 from repro.experiments import (
     ablation_adaptive,

@@ -7,10 +7,8 @@ import pytest
 from repro.common.params import (
     CacheConfig,
     ITPConfig,
-    SystemConfig,
     TABLE1,
     TLBConfig,
-    XPTPConfig,
     make_config,
     scaled_config,
 )

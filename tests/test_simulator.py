@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.params import scaled_config
-from repro.core.simulator import SimulationResult, simulate, simulate_smt
+from repro.core.simulator import simulate, simulate_smt
 from repro.workloads.server import ServerWorkload
 from repro.workloads.speclike import SpecLikeWorkload
 

@@ -9,9 +9,13 @@ from dataclasses import replace
 
 from repro.cache.mshr import MSHRFile
 from repro.common.params import scaled_config
+from repro.common.stats import LevelStats
 from repro.common.types import RequestType
 from repro.core.simulator import simulate
+from repro.mem.dram import DRAM
 from repro.workloads.server import ServerWorkload
+
+from .helpers import load
 
 
 class TestMSHRReset:
@@ -28,6 +32,35 @@ class TestMSHRReset:
         # Outstanding entries are state, not statistics.
         assert len(mshrs) == 2
         assert mshrs.lookup(0xC0) is not None
+
+
+class TestDRAMRowCounterReset:
+    """Regression: ``row_hits``/``row_misses`` used to survive the warmup
+    boundary (and were never exported), so row-buffer locality numbers
+    included warmup traffic."""
+
+    def test_counters_clear_but_open_rows_survive(self):
+        cfg = replace(scaled_config().dram, row_buffer=True, banks=2)
+        dram = DRAM(cfg, LevelStats("DRAM"))
+        dram.access(load(0x0))
+        dram.access(load(0x0))      # row hit
+        dram.access(load(cfg.row_bytes * cfg.banks))  # same bank, new row
+        assert dram.row_hits == 1 and dram.row_misses == 2
+
+        dram.reset_stats()
+        assert dram.row_hits == 0 and dram.row_misses == 0
+        # Open-row *state* survives: re-touching the open row hits again.
+        dram.access(load(cfg.row_bytes * cfg.banks))
+        assert dram.row_hits == 1
+
+    def test_row_counters_exported_and_cover_measurement_only(self):
+        cfg = replace(scaled_config(), dram=replace(
+            scaled_config().dram, row_buffer=True))
+        full = run(cfg, 0, 30_000)
+        measured = run(cfg, 20_000, 10_000)
+        for key in ("dram.row_hits", "dram.row_misses"):
+            assert full.get(key) > 0
+            assert 0 < measured.get(key) < full.get(key)
 
 
 def run(config, warmup, measure, seed=3):
