@@ -2,10 +2,15 @@
 """Extending the simulator with a custom STLB replacement policy.
 
 The library's policy interfaces are public extension points.  This example
-implements SRRIP-for-TLBs as a new STLB policy, registers nothing (policies
-can be wired directly), and races it against LRU and iTP on a server
-workload — the workflow a researcher prototyping a new TLB policy would
-follow.
+implements SRRIP-for-TLBs as a new STLB policy, registers it on the TLB
+policy registry under the name ``tlb-srrip``, and races it against LRU and
+iTP on a server workload — the workflow a researcher prototyping a new TLB
+policy would follow.
+
+Registration is the whole integration story: once the name exists in
+:data:`repro.tlb.policies.registry.TLB_POLICIES`, every construction path —
+``SystemConfig.with_policies``, topology specs, the experiment drivers —
+can use it like a built-in.
 
 Run:  python examples/custom_policy.py
 """
@@ -15,10 +20,9 @@ from typing import Sequence
 from repro import ServerWorkload, simulate
 from repro.common.params import scaled_config
 from repro.common.types import AccessType
-from repro.core.system import System
-from repro.core.cpu import Core
 from repro.tlb.entry import TLBEntry
 from repro.tlb.policies.base import TLBReplacementPolicy
+from repro.tlb.policies.registry import TLB_POLICIES
 
 RRPV_MAX = 3
 
@@ -52,48 +56,32 @@ class TLBSRRIPPolicy(TLBReplacementPolicy):
         self.rrpv[set_index][way] = 0
 
 
-def run_with_stlb_policy(policy_factory, workload, label):
-    """Wire a custom policy object into a freshly built system."""
-    from repro.common.stats import LevelStats
-    from repro.tlb.tlb import TLB
+# One line of integration: factories receive (num_sets, associativity,
+# **context) — context carries SystemConfig-derived keywords (itp_config,
+# p_evict_data, ...) that this policy does not need.
+TLB_POLICIES.register(
+    "tlb-srrip",
+    lambda num_sets, associativity, **_ctx: TLBSRRIPPolicy(num_sets, associativity),
+)
 
-    config = scaled_config()
-    system = System(config, workload.size_policy)
-    if policy_factory is not None:
-        stlb_cfg = config.stlb
-        system.mmu.stlb = TLB(
-            stlb_cfg,
-            policy_factory(stlb_cfg.num_sets, stlb_cfg.associativity),
-            system.stats.level("STLB"),
-        )
-    core = Core(system)
-    stream = workload.record_stream()
-    while system.stats.instructions < 50_000:
-        core.execute(next(stream))
-    system.stats.reset()
-    cycles = 0.0
-    while system.stats.instructions < 150_000:
-        cycles += core.execute(next(stream))
-    system.stats.cycles = cycles
-    print(f"{label:<12} ipc={system.stats.ipc:.4f} "
-          f"stlb impki={system.stats.report()['stlb.impki']:.2f} "
-          f"dmpki={system.stats.report()['stlb.dmpki']:.2f}")
-    return system.stats.ipc
+
+def run_with_stlb_policy(policy_name, workload):
+    """Run the standard driver with the STLB policy selected by name."""
+    config = scaled_config().with_policies(stlb=policy_name)
+    result = simulate(config, workload, 50_000, 150_000, config_label=policy_name)
+    print(f"{policy_name:<12} ipc={result.ipc:.4f} "
+          f"stlb impki={result.get('stlb.impki'):.2f} "
+          f"dmpki={result.get('stlb.dmpki'):.2f}")
+    return result.ipc
 
 
 def main() -> None:
     workload = ServerWorkload("custom", seed=9)
-    lru_ipc = run_with_stlb_policy(None, workload, "lru")
-    run_with_stlb_policy(TLBSRRIPPolicy, workload, "tlb-srrip")
-
-    # iTP via the standard config path, for reference.
-    itp = simulate(
-        scaled_config().with_policies(stlb="itp"), workload, 50_000, 150_000
-    )
-    print(f"{'itp':<12} ipc={itp.ipc:.4f} "
-          f"stlb impki={itp.get('stlb.impki'):.2f} dmpki={itp.get('stlb.dmpki'):.2f}")
+    lru_ipc = run_with_stlb_policy("lru", workload)
+    run_with_stlb_policy("tlb-srrip", workload)
+    itp_ipc = run_with_stlb_policy("itp", workload)
     print()
-    print(f"iTP vs LRU: {100.0 * (itp.ipc / lru_ipc - 1.0):+.1f}%  — "
+    print(f"iTP vs LRU: {100.0 * (itp_ipc / lru_ipc - 1.0):+.1f}%  — "
           "type-awareness, not just scan resistance, is what pays off.")
 
 

@@ -9,6 +9,8 @@ Examples::
     python -m repro --techniques lru itp itp+xptp --workload server --seed 3
     python -m repro --workload spec --measure 100000
     python -m repro --techniques lru itp --workers 4 --cache-dir .repro-cache
+    python -m repro --topology split-stlb --techniques lru itp
+    python -m repro --topology multicore-2 --techniques lru itp+xptp
     python -m repro --list
     python -m repro --describe
 """
@@ -25,6 +27,8 @@ from .common.params import SystemConfig, scaled_config
 from .experiments.parallel import ParallelRunner, SimJob
 from .experiments.reporting import format_table
 from .experiments.runner import MEASURE, POLICY_MATRIX, WARMUP, config_for
+from .topology.presets import PRESET_NAMES, resolve_topology
+from .topology.spec import TopologyError
 from .workloads.phased import PhasedWorkload
 from .workloads.server import ServerWorkload
 from .workloads.speclike import SpecLikeWorkload
@@ -82,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TECH", help=f"techniques from Table 2: {', '.join(POLICY_MATRIX)}",
     )
     parser.add_argument("--workload", choices=WORKLOAD_KINDS, default="server")
+    parser.add_argument(
+        "--topology", default=None, metavar="NAME",
+        help="machine graph preset (default: the Table 1 hierarchy); "
+             f"one of: {', '.join(PRESET_NAMES)}",
+    )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--warmup", type=int, default=WARMUP)
     parser.add_argument("--measure", type=int, default=MEASURE)
@@ -120,9 +129,22 @@ def main(argv: List[str] = None) -> int:
         print(f"unknown technique(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
-    workload = make_workload(args.workload, args.seed)
-    if args.large_pages:
-        workload.large_page_percent = args.large_pages
+    try:
+        spec = resolve_topology(args.topology, scaled_config())
+    except TopologyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    # One workload per core (a single-core topology gets exactly one);
+    # extra cores run the same workload kind at distinct seeds.
+    workloads = tuple(
+        make_workload(args.workload, args.seed + index)
+        for index in range(spec.num_cores)
+    )
+    for workload in workloads:
+        if args.large_pages:
+            workload.large_page_percent = args.large_pages
+    workload = workloads[0]
 
     headers = ["technique", "ipc", "speedup_%", "stlb_impki", "stlb_dmpki",
                "stlb_miss_lat", "l2c_dtmpki", "llc_mpki"]
@@ -134,7 +156,8 @@ def main(argv: List[str] = None) -> int:
         progress=True,
     )
     results = runner.run(
-        SimJob(config_for(t), (workload,), args.warmup, args.measure, label=t)
+        SimJob(config_for(t), workloads, args.warmup, args.measure,
+               label=t, topology=args.topology)
         for t in args.techniques
     )
     rows = []
@@ -154,8 +177,10 @@ def main(argv: List[str] = None) -> int:
             row.append(energy_report(result.stats).pj_per_instruction)
         rows.append(row)
     print(format_table(headers, rows))
+    names = "+".join(w.name for w in workloads)
     print(f"(speedup vs first technique: {args.techniques[0]}; "
-          f"workload={workload.name}, {args.measure} measured instructions)")
+          f"topology={spec.name}, workload={names}, "
+          f"{args.measure} measured instructions)")
     return 0
 
 

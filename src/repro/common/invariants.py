@@ -166,12 +166,8 @@ def check_no_leaked_mshr_entries(system: "System") -> None:
     warmup/measurement boundary means an allocate/release pairing bug.
     """
     files = [
-        ("L1I", system.l1i.mshrs),
-        ("L1D", system.l1d.mshrs),
-        ("L2C", system.l2c.mshrs),
-        ("LLC", system.llc.mshrs),
-        ("STLB", system.mmu.stlb_mshrs),
-    ]
+        (cache.config.name, cache.mshrs) for cache in system.caches
+    ] + [("STLB", system.mmu.stlb_mshrs)]
     for name, mshrs in files:
         if len(mshrs):
             raise InvariantViolation(

@@ -3,9 +3,12 @@
 The paper evaluates single-core and SMT co-location; the other standard
 server-consolidation configuration is multi-programmed cores with private
 L1/L2/TLB hierarchies sharing the LLC and DRAM.  This module provides that
-mode: per-core front ends, MMUs, walkers and L2Cs, with a shared LLC
-(whose replacement policy is the configured ``llc_policy``) and a shared
-DRAM channel whose bandwidth pressure all cores feel.
+mode as a facade over the topology layer: the default graph is the
+``multicore-N`` preset (per-core front ends, MMUs, walkers and L2Cs, a
+shared LLC whose replacement policy is the configured ``llc_policy``, and
+a shared DRAM channel whose bandwidth pressure all cores feel), and any
+other multi-core :class:`~repro.topology.spec.TopologySpec` — e.g. the
+``shared-l2`` preset — drops in via the ``topology`` argument.
 
 Each core runs its own workload in its own address space (the same
 high-bit tagging the SMT mode uses), so shared-structure contention is
@@ -14,99 +17,59 @@ capacity/bandwidth contention, never aliasing.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
-from ..cache.cache import SetAssociativeCache
-from ..cache.prefetch import make_prefetcher
 from ..common.params import SystemConfig
 from ..common.stats import SimStats
 from ..common.types import PageSize
-from ..core.adaptive import AdaptiveXPTPController
 from ..core.cpu import Core, THREAD_TAG_SHIFT
 from ..core.simulator import SimulationResult
-from ..mem.dram import DRAM
-from ..ptw.page_table import PageTable
-from ..ptw.walker import PageTableWalker
-from ..replacement.registry import make_cache_policy
-from ..replacement.xptp import XPTPPolicy
-from ..tlb.hierarchy import MMU
+from ..topology.builder import BuiltCore, build
+from ..topology.presets import multicore, resolve_topology
+from ..topology.spec import TopologySpec
 from ..workloads.base import SyntheticWorkload
 
 
-class _CoreSlice:
-    """The private hierarchy of one core, wired onto shared LLC/DRAM."""
-
-    def __init__(self, index: int, config: SystemConfig, llc, stats: SimStats) -> None:
-        self.config = config
-        suffix = f"_{index}"
-        self.l2c = SetAssociativeCache(
-            config.l2c,
-            make_cache_policy(
-                config.l2c_policy, config.l2c.num_sets, config.l2c.associativity,
-                xptp_k=config.xptp.k,
-            ),
-            llc,
-            stats.level(f"L2C{suffix}"),
-            make_prefetcher(config.l2c.prefetcher),
-        )
-        self.l1i = SetAssociativeCache(
-            config.l1i,
-            make_cache_policy("lru", config.l1i.num_sets, config.l1i.associativity),
-            self.l2c,
-            stats.level(f"L1I{suffix}"),
-            make_prefetcher(config.l1i.prefetcher),
-        )
-        self.l1d = SetAssociativeCache(
-            config.l1d,
-            make_cache_policy("lru", config.l1d.num_sets, config.l1d.associativity),
-            self.l2c,
-            stats.level(f"L1D{suffix}"),
-            make_prefetcher(config.l1d.prefetcher),
-        )
-
-
 class MulticoreSystem:
-    """N cores with private L1/L2/TLBs, shared LLC and DRAM."""
+    """N cores with private L1/L2/TLBs, shared LLC and DRAM (by default)."""
 
     def __init__(
-        self, config: SystemConfig, workloads: Sequence[SyntheticWorkload]
+        self,
+        config: SystemConfig,
+        workloads: Sequence[SyntheticWorkload],
+        topology: Union[None, str, TopologySpec] = None,
     ) -> None:
         if not workloads:
             raise ValueError("at least one workload/core required")
         self.config = config
-        self.stats = SimStats()
         self.workloads = list(workloads)
 
-        self.dram = DRAM(config.dram, self.stats.level("DRAM"))
-        self.llc = SetAssociativeCache(
-            config.llc,
-            make_cache_policy(config.llc_policy, config.llc.num_sets, config.llc.associativity),
-            self.dram,
-            self.stats.level("LLC"),
-            make_prefetcher(config.llc.prefetcher),
+        spec = (
+            multicore(config, len(self.workloads))
+            if topology is None
+            else resolve_topology(topology, config)
         )
-        self.page_table = PageTable(self._size_policy)
-
-        self.slices: List[_CoreSlice] = []
-        self.cores: List[Core] = []
-        self.adaptives: List[AdaptiveXPTPController] = []
-        for index in range(len(self.workloads)):
-            core_slice = _CoreSlice(index, config, self.llc, self.stats)
-            walker = PageTableWalker(self.page_table, config.psc, core_slice.l2c, self.stats)
-            mmu = MMU(config, walker, self.stats)
-            xptp = (
-                core_slice.l2c.policy
-                if isinstance(core_slice.l2c.policy, XPTPPolicy)
-                else None
+        if spec.num_cores != len(self.workloads):
+            raise ValueError(
+                f"topology {spec.name!r} has {spec.num_cores} cores but "
+                f"{len(self.workloads)} workloads were given"
             )
-            adaptive = AdaptiveXPTPController(config.adaptive, mmu, xptp)
-            # Core only needs the structural attributes a System exposes;
-            # _SliceView provides the same surface over this core's slice.
-            view = _SliceView(self, core_slice, mmu, adaptive)
-            core = Core(view, thread_id=index)
-            self.slices.append(core_slice)
-            self.cores.append(core)
-            self.adaptives.append(adaptive)
+        built = build(spec, config, size_policy=self._size_policy)
+        self.topology = built
+        self.stats: SimStats = built.stats
+        self.dram = built.dram
+        self.llc = built.cores[0].llc
+        self.caches = tuple(built.caches.values())
+        self.page_table = built.page_table
+
+        #: Per-core private hierarchies (the builder's BuiltCore objects
+        #: expose the legacy ``.l1i``/``.l1d``/``.l2c`` slice surface).
+        self.slices: List[BuiltCore] = list(built.cores)
+        self.cores: List[Core] = []
+        self.adaptives = [core.adaptive for core in built.cores]
+        for index, built_core in enumerate(built.cores):
+            view = _SliceView(self, built_core)
+            self.cores.append(Core(view, thread_id=index))
 
     def reset_stats(self) -> None:
         """Reset all statistics at the warmup/measurement boundary.
@@ -114,16 +77,7 @@ class MulticoreSystem:
         Mirrors :meth:`repro.core.system.System.reset_stats`: SimStats plus
         the structure-owned counters of every core slice and shared level.
         """
-        self.stats.reset()
-        for adaptive in self.adaptives:
-            adaptive.reset_stats()
-        for core in self.cores:
-            core.system.mmu.reset_stats()
-        for core_slice in self.slices:
-            core_slice.l1i.reset_stats()
-            core_slice.l1d.reset_stats()
-            core_slice.l2c.reset_stats()
-        self.llc.reset_stats()
+        self.topology.reset_stats()
 
     def _size_policy(self, vaddr: int) -> PageSize:
         index = vaddr >> THREAD_TAG_SHIFT
@@ -135,16 +89,16 @@ class MulticoreSystem:
 class _SliceView:
     """What a :class:`Core` sees as its 'system': the private slice plus shared state."""
 
-    def __init__(self, parent: MulticoreSystem, core_slice: _CoreSlice, mmu, adaptive) -> None:
+    def __init__(self, parent: MulticoreSystem, built_core: BuiltCore) -> None:
         self.config = parent.config
         self.stats = parent.stats
-        self.l1i = core_slice.l1i
-        self.l1d = core_slice.l1d
-        self.l2c = core_slice.l2c
-        self.llc = parent.llc
+        self.l1i = built_core.l1i
+        self.l1d = built_core.l1d
+        self.l2c = built_core.l2c
+        self.llc = built_core.llc
         self.dram = parent.dram
-        self.mmu = mmu
-        self.adaptive = adaptive
+        self.mmu = built_core.mmu
+        self.adaptive = built_core.adaptive
 
 
 def simulate_multicore(
@@ -153,6 +107,7 @@ def simulate_multicore(
     warmup_instructions: int = 50_000,
     measure_instructions: int = 200_000,
     config_label: str = "",
+    topology: Union[None, str, TopologySpec] = None,
 ) -> SimulationResult:
     """Run one workload per core; throughput = total instructions / slowest core.
 
@@ -160,7 +115,7 @@ def simulate_multicore(
     cycles accumulate independently while all shared-state contention
     (LLC capacity, DRAM bandwidth) plays out through the shared objects.
     """
-    system = MulticoreSystem(config, workloads)
+    system = MulticoreSystem(config, workloads, topology=topology)
     streams = [wl.record_stream() for wl in workloads]
     stats = system.stats
     core_cycles = [0.0] * len(system.cores)

@@ -19,9 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
+from typing import Union
+
 from ..common.params import SystemConfig
 from ..common.stats import SimStats
 from ..common.types import PageSize
+from ..topology.spec import TopologySpec
 from ..workloads.base import SyntheticWorkload
 from .cpu import Core, THREAD_TAG_SHIFT
 from .system import System
@@ -75,7 +78,7 @@ def _export_structures(system: System, stats: SimStats) -> None:
         stats.counters["xptp.protected_evictions_avoided"] = (
             xptp.protected_evictions_avoided
         )
-    for cache in (system.l1i, system.l1d, system.l2c, system.llc):
+    for cache in system.caches:
         key = cache.config.name.lower()
         stats.counters[f"{key}.mshr_allocations"] = cache.mshrs.allocations
         stats.counters[f"{key}.mshr_merges"] = cache.mshrs.merges
@@ -105,9 +108,10 @@ def simulate(
     warmup_instructions: int = DEFAULT_WARMUP,
     measure_instructions: int = DEFAULT_MEASURE,
     config_label: str = "",
+    topology: Union[None, str, TopologySpec] = None,
 ) -> SimulationResult:
     """Run one workload on one hardware thread."""
-    system = System(config, workload.size_policy)
+    system = System(config, workload.size_policy, topology=topology)
     core = Core(system, thread_id=0)
     stream = workload.record_stream()
     stats = system.stats
@@ -132,6 +136,7 @@ def simulate_smt(
     measure_instructions: int = DEFAULT_MEASURE,
     config_label: str = "",
     overlap_residual: float = 0.25,
+    topology: Union[None, str, TopologySpec] = None,
 ) -> SimulationResult:
     """Co-locate two workloads on an SMT core with shared structures.
 
@@ -140,7 +145,7 @@ def simulate_smt(
     """
     if len(workloads) != 2:
         raise ValueError("SMT simulation takes exactly two workloads")
-    system = System(config, _tagged_size_policy(workloads))
+    system = System(config, _tagged_size_policy(workloads), topology=topology)
     cores = [Core(system, thread_id=i) for i in range(2)]
     streams = [w.record_stream() for w in workloads]
     stats = system.stats

@@ -1,27 +1,27 @@
-"""System wiring: build the full simulated machine from a SystemConfig.
+"""System facade: the single-core machine, built by the topology layer.
 
-Topology (Table 1): L1I and L1D feed a unified L2C, which feeds a private
-LLC, which feeds DRAM.  The page-table walker issues its PTE reads to the
-L2C; the MMU sits in front of everything.
+Before the :mod:`repro.topology` package this module wired the Table 1
+hierarchy by hand; it is now a thin facade over
+:func:`repro.topology.builder.build` — the default graph is the
+``table1`` preset derived from the :class:`SystemConfig`, and any other
+single-core :class:`~repro.topology.spec.TopologySpec` (``split-stlb``,
+``no-llc``, custom graphs) drops in via the ``topology`` argument.  The
+legacy attribute surface (``l1i``/``l1d``/``l2c``/``llc``/``dram``/
+``mmu``/``walker``/``adaptive``) is preserved, so :class:`repro.core.cpu.Core`
+and every existing caller see exactly the machine they always did.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
-from ..cache.cache import SetAssociativeCache
-from ..cache.prefetch import make_prefetcher
 from ..common import invariants
 from ..common.params import SystemConfig
-from ..common.stats import SimStats
 from ..common.types import PageSize
-from ..mem.dram import DRAM
-from ..ptw.page_table import PageTable
-from ..ptw.walker import PageTableWalker
-from ..replacement.registry import make_cache_policy
 from ..replacement.xptp import XPTPPolicy
-from ..tlb.hierarchy import MMU
-from .adaptive import AdaptiveXPTPController
+from ..topology.builder import build
+from ..topology.presets import resolve_topology
+from ..topology.spec import TopologySpec
 
 SizePolicy = Callable[[int], PageSize]
 
@@ -29,49 +29,36 @@ SizePolicy = Callable[[int], PageSize]
 class System:
     """The full memory system shared by one core (or two SMT threads)."""
 
-    def __init__(self, config: SystemConfig, size_policy: Optional[SizePolicy] = None) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        size_policy: Optional[SizePolicy] = None,
+        topology: Union[None, str, TopologySpec] = None,
+    ) -> None:
         self.config = config
-        self.stats = SimStats()
+        spec = resolve_topology(topology, config)
+        if spec.num_cores != 1:
+            raise ValueError(
+                f"System is single-core; topology {spec.name!r} has "
+                f"{spec.num_cores} cores (use MulticoreSystem)"
+            )
+        built = build(spec, config, size_policy=size_policy)
+        self.topology = built
+        self.stats = built.stats
+        self.dram = built.dram
+        self.page_table = built.page_table
 
-        self.dram = DRAM(config.dram, self.stats.level("DRAM"))
-        self.llc = SetAssociativeCache(
-            config.llc,
-            make_cache_policy(config.llc_policy, config.llc.num_sets, config.llc.associativity),
-            self.dram,
-            self.stats.level("LLC"),
-            make_prefetcher(config.llc.prefetcher),
-        )
-        self.l2c = SetAssociativeCache(
-            config.l2c,
-            make_cache_policy(
-                config.l2c_policy, config.l2c.num_sets, config.l2c.associativity,
-                xptp_k=config.xptp.k,
-            ),
-            self.llc,
-            self.stats.level("L2C"),
-            make_prefetcher(config.l2c.prefetcher),
-        )
-        self.l1i = SetAssociativeCache(
-            config.l1i,
-            make_cache_policy("lru", config.l1i.num_sets, config.l1i.associativity),
-            self.l2c,
-            self.stats.level("L1I"),
-            make_prefetcher(config.l1i.prefetcher),
-        )
-        self.l1d = SetAssociativeCache(
-            config.l1d,
-            make_cache_policy("lru", config.l1d.num_sets, config.l1d.associativity),
-            self.l2c,
-            self.stats.level("L1D"),
-            make_prefetcher(config.l1d.prefetcher),
-        )
-
-        self.page_table = PageTable(size_policy)
-        self.walker = PageTableWalker(self.page_table, config.psc, self.l2c, self.stats)
-        self.mmu = MMU(config, self.walker, self.stats)
-
-        xptp = self.l2c.policy if isinstance(self.l2c.policy, XPTPPolicy) else None
-        self.adaptive = AdaptiveXPTPController(config.adaptive, self.mmu, xptp)
+        core = built.cores[0]
+        self.l1i = core.l1i
+        self.l1d = core.l1d
+        self.l2c = core.l2c
+        self.llc = core.llc
+        #: Every cache of the machine, in build order (L2C/LLC views above
+        #: are positional conveniences; exports and invariants iterate this).
+        self.caches = tuple(built.caches.values())
+        self.walker = core.walker
+        self.mmu = core.mmu
+        self.adaptive = core.adaptive
 
     def reset_stats(self) -> None:
         """Reset every statistic at the warmup/measurement boundary.
@@ -83,17 +70,12 @@ class System:
         (cache contents, recency stacks, outstanding MSHR entries) is kept —
         warming that state is the point of the warmup window.
         """
-        self.stats.reset()
-        self.adaptive.reset_stats()
-        self.mmu.reset_stats()
-        self.walker.reset_stats()
-        self.dram.reset_stats()
-        for cache in (self.l1i, self.l1d, self.l2c, self.llc):
-            cache.reset_stats()
+        self.topology.reset_stats()
         if invariants.enabled():
             invariants.check_no_leaked_mshr_entries(self)
 
     @property
     def xptp_policy(self) -> Optional[XPTPPolicy]:
-        policy = self.l2c.policy
-        return policy if isinstance(policy, XPTPPolicy) else None
+        if self.l2c is not None and isinstance(self.l2c.policy, XPTPPolicy):
+            return self.l2c.policy
+        return self.topology.cores[0].xptp

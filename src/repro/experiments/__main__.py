@@ -5,7 +5,10 @@ fig12, fig13, fig14, ablation_params, ablation_adaptive,
 ext_stlb_prefetch, or ``all``.  With ``--csv-dir DIR`` each reproduced
 figure is also written to ``DIR/<figure>.csv``.  ``--workers N`` fans
 the simulations of each figure over N processes (default: all cores);
-``--cache-dir DIR`` reuses previously computed simulation results.
+``--cache-dir DIR`` reuses previously computed simulation results;
+``--topology NAME`` runs every figure on a non-default machine graph
+(a preset such as ``split-stlb`` or ``no-llc`` — see
+``repro.topology.presets``).
 """
 
 from __future__ import annotations
@@ -54,7 +57,9 @@ RUNNERS = {
     "fig12": fig12_itlb_sensitivity.run,
     "fig13": fig13_large_pages.run,
     "fig14": fig14_split_stlb.run,
-    "ablation_params": lambda: [ablation_params.run_nm(), ablation_params.run_k()],
+    "ablation_params": lambda **kw: [
+        ablation_params.run_nm(**kw), ablation_params.run_k(**kw)
+    ],
     "ablation_adaptive": ablation_adaptive.run,
     "ext_stlb_prefetch": ext_stlb_prefetch.run,
 }
@@ -83,6 +88,17 @@ def main(argv) -> int:
         csv_dir = _take_option(argv, "--csv-dir")
         workers = _take_option(argv, "--workers")
         cache_dir = _take_option(argv, "--cache-dir")
+        topology = _take_option(argv, "--topology")
+        if topology is not None:
+            # Fail fast on a bad preset name before any simulation runs.
+            from ..common.params import scaled_config
+            from ..topology.presets import resolve_topology
+            from ..topology.spec import TopologyError
+
+            try:
+                resolve_topology(topology, scaled_config())
+            except TopologyError as exc:
+                raise _OptionError(str(exc)) from None
         if workers is None:
             workers = os.cpu_count() or 1
         elif not (workers.isdigit() or workers == "auto"):
@@ -100,10 +116,11 @@ def main(argv) -> int:
         return 2
     runner = ParallelRunner(workers=workers, cache_dir=cache_dir, progress=True)
     previous = set_default_runner(runner)
+    run_kwargs = {} if topology is None else {"topology": topology}
     try:
         for name in names:
             start = time.time()
-            for figure in _results(RUNNERS[name]()):
+            for figure in _results(RUNNERS[name](**run_kwargs)):
                 print(format_figure(figure))
                 print()
                 if csv_dir is not None:

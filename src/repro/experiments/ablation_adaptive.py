@@ -30,6 +30,7 @@ def run(
     measure: int = 300_000,
     phase_records: int = 12_000,
     runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Ablation adaptive",
@@ -44,15 +45,15 @@ def run(
         adaptive=AdaptiveConfig(enabled=False),
     )
     jobs = [
-        SimJob(base, (wl,), warmup, measure, label="lru"),
-        SimJob(always_on, (wl,), warmup, measure, label="always-on"),
+        SimJob(base, (wl,), warmup, measure, topology=topology, label="lru"),
+        SimJob(always_on, (wl,), warmup, measure, topology=topology, label="always-on"),
     ]
     for t1 in t1_values:
         cfg = replace(
             base.with_policies(stlb="itp", l2c="xptp"),
             adaptive=AdaptiveConfig(enabled=True, t1_misses=t1),
         )
-        jobs.append(SimJob(cfg, (wl,), warmup, measure, label=f"adaptive T1={t1}"))
+        jobs.append(SimJob(cfg, (wl,), warmup, measure, topology=topology, label=f"adaptive T1={t1}"))
 
     results = run_jobs(jobs, runner)
     baseline = results[0].ipc

@@ -24,6 +24,7 @@ def run(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 2",
@@ -37,7 +38,7 @@ def run(
         ("spec", spec_suite(spec_count)),
     ]
     jobs = [
-        SimJob(cfg, (wl,), warmup, measure, label=label)
+        SimJob(cfg, (wl,), warmup, measure, topology=topology, label=label)
         for label, workloads in suites
         for wl in workloads
     ]

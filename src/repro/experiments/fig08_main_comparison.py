@@ -33,10 +33,11 @@ def run_single_thread(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
 ) -> Comparison:
     techniques = list(techniques or POLICY_MATRIX)
     return compare_single_thread(
-        techniques, server_suite(server_count), None, warmup, measure, runner=runner
+        techniques, server_suite(server_count), None, warmup, measure, runner=runner, topology=topology
     )
 
 
@@ -46,10 +47,11 @@ def run_smt(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
 ) -> Comparison:
     techniques = list(techniques or POLICY_MATRIX)
     return compare_smt(
-        techniques, smt_mixes(per_category), None, warmup, measure, runner=runner
+        techniques, smt_mixes(per_category), None, warmup, measure, runner=runner, topology=topology
     )
 
 
@@ -98,6 +100,7 @@ def smt_category_breakdown(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
 ) -> FigureResult:
     """Geomean IPC improvement per SMT mix category (Section 5.2).
 
@@ -107,7 +110,7 @@ def smt_category_breakdown(
     """
     techniques = list(techniques or ("lru", "tdrrip", "itp", "itp+xptp"))
     mixes = smt_mixes(per_category)
-    comparison = compare_smt(techniques, mixes, None, warmup, measure, runner=runner)
+    comparison = compare_smt(techniques, mixes, None, warmup, measure, runner=runner, topology=topology)
     by_category = {}
     for mix in mixes:
         by_category.setdefault(mix.category, []).append(mix.name)
@@ -137,9 +140,10 @@ def run(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
 ) -> Sequence[FigureResult]:
-    single = run_single_thread(None, server_count, warmup, measure, runner=runner)
-    smt = run_smt(None, per_category, warmup, measure, runner=runner)
+    single = run_single_thread(None, server_count, warmup, measure, runner=runner, topology=topology)
+    smt = run_smt(None, per_category, warmup, measure, runner=runner, topology=topology)
     return (
         as_figure(single, "Figure 8a", "IPC improvement vs LRU, single hardware thread"),
         as_figure(smt, "Figure 8b", "IPC improvement vs LRU, two hardware threads (SMT)"),

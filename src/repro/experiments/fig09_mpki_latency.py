@@ -60,13 +60,14 @@ def run(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
 ) -> Sequence[FigureResult]:
     techniques = list(techniques or POLICY_MATRIX)
     single = compare_single_thread(
-        techniques, server_suite(server_count), None, warmup, measure, runner=runner
+        techniques, server_suite(server_count), None, warmup, measure, runner=runner, topology=topology
     )
     smt = compare_smt(
-        techniques, smt_mixes(per_category), None, warmup, measure, runner=runner
+        techniques, smt_mixes(per_category), None, warmup, measure, runner=runner, topology=topology
     )
     return (
         as_figure(single, "Figure 9 (1T)", "MPKI / avg miss latency per level, single thread"),

@@ -23,6 +23,7 @@ def run(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 10",
@@ -31,10 +32,10 @@ def run(
         notes=["paper: iTP reduces iMPKI and increases dMPKI in both scenarios"],
     )
     single = compare_single_thread(
-        TECHNIQUES, server_suite(server_count), None, warmup, measure, runner=runner
+        TECHNIQUES, server_suite(server_count), None, warmup, measure, runner=runner, topology=topology
     )
     smt = compare_smt(
-        TECHNIQUES, smt_mixes(per_category), None, warmup, measure, runner=runner
+        TECHNIQUES, smt_mixes(per_category), None, warmup, measure, runner=runner, topology=topology
     )
     for scenario, comparison in (("1T", single), ("2T", smt)):
         for technique in TECHNIQUES:

@@ -29,6 +29,7 @@ def run(
     measure: int = MEASURE,
     llc_policies: Sequence[str] = LLC_POLICIES,
     runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 11",
@@ -41,10 +42,10 @@ def run(
     for llc in llc_policies:
         base = scaled_config().with_policies(llc=llc)
         single = compare_single_thread(
-            TECHNIQUES, server_suite(server_count), base, warmup, measure, runner=runner
+            TECHNIQUES, server_suite(server_count), base, warmup, measure, runner=runner, topology=topology
         )
         smt = compare_smt(
-            TECHNIQUES, smt_mixes(per_category), base, warmup, measure, runner=runner
+            TECHNIQUES, smt_mixes(per_category), base, warmup, measure, runner=runner, topology=topology
         )
         for scenario, comparison in (("1T", single), ("2T", smt)):
             for technique in ("itp", "itp+xptp"):

@@ -30,6 +30,7 @@ def run(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 12",
@@ -44,10 +45,10 @@ def run(
         itlb = TLBConfig("ITLB", entries=scaled_entries, associativity=4, latency=1)
         base = replace(scaled_config(), itlb=itlb)
         single = compare_single_thread(
-            TECHNIQUES, server_suite(server_count), base, warmup, measure, runner=runner
+            TECHNIQUES, server_suite(server_count), base, warmup, measure, runner=runner, topology=topology
         )
         smt = compare_smt(
-            TECHNIQUES, smt_mixes(per_category), base, warmup, measure, runner=runner
+            TECHNIQUES, smt_mixes(per_category), base, warmup, measure, runner=runner, topology=topology
         )
         for scenario, comparison in (("1T", single), ("2T", smt)):
             for technique in ("itp", "itp+xptp"):

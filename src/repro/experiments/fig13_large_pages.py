@@ -27,6 +27,7 @@ def run(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 13",
@@ -41,12 +42,12 @@ def run(
         single = compare_single_thread(
             TECHNIQUES,
             server_suite(server_count, large_page_percent=pct),
-            None, warmup, measure, runner=runner,
+            None, warmup, measure, runner=runner, topology=topology,
         )
         smt = compare_smt(
             TECHNIQUES,
             smt_mixes(per_category, large_page_percent=pct),
-            None, warmup, measure, runner=runner,
+            None, warmup, measure, runner=runner, topology=topology,
         )
         for scenario, comparison in (("1T", single), ("2T", smt)):
             for technique in TECHNIQUES[1:]:

@@ -65,6 +65,7 @@ def run(
     warmup: int = WARMUP,
     measure: int = MEASURE,
     runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="Figure 14",
@@ -78,7 +79,7 @@ def run(
     workloads = server_suite(server_count)
     designs = _designs(base_entries)
     jobs = [
-        SimJob(cfg, (wl,), warmup, measure, label=label)
+        SimJob(cfg, (wl,), warmup, measure, topology=topology, label=label)
         for label, cfg in designs
         for wl in workloads
     ]

@@ -6,15 +6,20 @@ shares no state between cells — so the matrix fans out over a
 :class:`concurrent.futures.ProcessPoolExecutor` trivially.  This module
 provides the machinery:
 
-* :class:`SimJob` — one simulation cell: a configuration, one workload (or
-  two for SMT), the warmup/measure windows and a technique label;
+* :class:`SimJob` — one simulation cell: a configuration, an optional
+  topology (preset name or :class:`TopologySpec`), one workload (or two
+  for SMT, or one per core for a multicore topology), the warmup/measure
+  windows and a technique label;
 * :class:`ParallelRunner` — executes a job list with ``workers`` processes,
   returning results in job order regardless of completion order.
   ``workers=1`` runs serially in-process (no pool, bit-identical to the
   pre-parallel code path — CI uses it for determinism checks);
 * :class:`ResultCache` — an on-disk result store keyed by
-  ``(label, workload, warmup, measure, config-hash)`` so re-running a
-  figure driver skips completed cells;
+  ``(label, workload, warmup, measure, config-hash, topology-hash)`` so
+  re-running a figure driver skips completed cells.  The topology
+  component is the spec's :meth:`~TopologySpec.content_hash` — resolved
+  even for the default graph, so two jobs with identical
+  :class:`SystemConfig` but different machine graphs can never collide;
 * a process-wide default runner configured from the environment
   (``REPRO_WORKERS``, ``REPRO_CACHE_DIR``, ``REPRO_PROGRESS``) or from the
   CLI flags of ``repro.cli`` / ``python -m repro.experiments``.
@@ -37,12 +42,15 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..common.params import SystemConfig
+from ..core.multicore import simulate_multicore
 from ..core.simulator import SimulationResult, simulate, simulate_smt
+from ..topology.presets import resolve_topology
+from ..topology.spec import TopologySpec
 from ..workloads.base import SyntheticWorkload
 
 #: Bump to invalidate every cached result (e.g. after a simulator behaviour
 #: change that job descriptions cannot see).
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 
 class SimulationError(RuntimeError):
@@ -55,6 +63,10 @@ class SimJob:
 
     ``workloads`` holds one workload for a single-thread run or two for an
     SMT co-location (dispatching to :func:`simulate` / :func:`simulate_smt`).
+    ``topology`` selects the machine graph — ``None`` for the default
+    Table 1 hierarchy, a preset name (``"split-stlb"``, ``"multicore-2"``,
+    ...) or a full :class:`TopologySpec`.  A multi-core topology dispatches
+    to :func:`simulate_multicore` and takes one workload per core.
     """
 
     config: SystemConfig
@@ -62,10 +74,17 @@ class SimJob:
     warmup: int
     measure: int
     label: str = ""
+    topology: Union[None, str, TopologySpec] = None
 
     def __post_init__(self) -> None:
-        if not 1 <= len(self.workloads) <= 2:
+        if not self.workloads:
+            raise ValueError("SimJob needs at least one workload")
+        if self.topology is None and len(self.workloads) > 2:
             raise ValueError("SimJob takes one workload (1T) or two (SMT)")
+
+    def resolved_topology(self) -> TopologySpec:
+        """The job's machine graph as a spec (default graph when ``None``)."""
+        return resolve_topology(self.topology, self.config)
 
     @property
     def workload_name(self) -> str:
@@ -83,9 +102,10 @@ def single(
     warmup: int,
     measure: int,
     label: str = "",
+    topology: Union[None, str, TopologySpec] = None,
 ) -> SimJob:
     """Convenience constructor for a single-thread job."""
-    return SimJob(config, (workload,), warmup, measure, label)
+    return SimJob(config, (workload,), warmup, measure, label, topology)
 
 
 def smt(
@@ -94,9 +114,10 @@ def smt(
     warmup: int,
     measure: int,
     label: str = "",
+    topology: Union[None, str, TopologySpec] = None,
 ) -> SimJob:
     """Convenience constructor for a two-thread SMT job."""
-    return SimJob(config, tuple(workloads), warmup, measure, label)
+    return SimJob(config, tuple(workloads), warmup, measure, label, topology)
 
 
 # --------------------------------------------------------------------- #
@@ -121,7 +142,10 @@ def job_key(job: SimJob) -> str:
     """Stable cache key for a job.
 
     ``SystemConfig`` is a tree of frozen dataclasses whose ``repr`` lists
-    every field, so it serves as a canonical config hash input.
+    every field, so it serves as a canonical config hash input.  The
+    topology is always resolved to a spec and keyed by its content hash —
+    so a preset name and the equivalent explicit spec share cache entries,
+    while jobs differing only in machine graph never collide.
     """
     parts = [
         f"cache-version={CACHE_VERSION}",
@@ -129,6 +153,7 @@ def job_key(job: SimJob) -> str:
         f"warmup={job.warmup}",
         f"measure={job.measure}",
         f"config={job.config!r}",
+        f"topology={job.resolved_topology().content_hash()}",
     ]
     parts.extend(workload_fingerprint(w) for w in job.workloads)
     return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
@@ -189,15 +214,21 @@ def _execute(job: SimJob) -> Tuple[SimulationResult, float]:
     """Run one cell; returns (result, wall seconds).  Must stay module-level
     picklable — it is the function shipped to pool workers."""
     start = time.perf_counter()
-    if len(job.workloads) == 1:
+    topology = job.resolved_topology() if job.topology is not None else None
+    if topology is not None and topology.num_cores > 1:
+        result = simulate_multicore(
+            job.config, list(job.workloads), job.warmup, job.measure,
+            config_label=job.label, topology=topology,
+        )
+    elif len(job.workloads) == 1:
         result = simulate(
             job.config, job.workloads[0], job.warmup, job.measure,
-            config_label=job.label,
+            config_label=job.label, topology=topology,
         )
     else:
         result = simulate_smt(
             job.config, list(job.workloads), job.warmup, job.measure,
-            config_label=job.label,
+            config_label=job.label, topology=topology,
         )
     return result, time.perf_counter() - start
 

@@ -11,10 +11,12 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..common.params import SystemConfig, scaled_config
 from ..core.simulator import SimulationResult
+from ..topology.spec import TopologySpec
+from ..topology.suites import SUITES, suite_for
 from ..workloads.base import SyntheticWorkload
 from ..workloads.mixes import SMTMix
 from .parallel import ParallelRunner, SimJob, run_jobs
@@ -24,34 +26,24 @@ from .parallel import ParallelRunner, SimJob, run_jobs
 WARMUP = 60_000
 MEASURE = 200_000
 
-#: Table 2 of the paper: technique -> replacement policy per structure.
-#: Structures not listed use LRU.
+#: Table 2 of the paper: technique -> replacement policy per structure
+#: (structures not listed use LRU).  Derived from the policy-suite registry
+#: (:data:`repro.topology.suites.SUITES`) — the single source of truth for
+#: technique names, ordering and per-structure assignments.
 POLICY_MATRIX: "OrderedDict[str, Dict[str, str]]" = OrderedDict(
-    [
-        ("lru", {}),
-        ("tdrrip", {"l2c": "tdrrip"}),
-        ("ptp", {"l2c": "ptp"}),
-        ("chirp", {"stlb": "chirp"}),
-        ("chirp+tdrrip", {"stlb": "chirp", "l2c": "tdrrip"}),
-        ("chirp+ptp", {"stlb": "chirp", "l2c": "ptp"}),
-        ("itp", {"stlb": "itp"}),
-        ("itp+tdrrip", {"stlb": "itp", "l2c": "tdrrip"}),
-        ("itp+ptp", {"stlb": "itp", "l2c": "ptp"}),
-        ("itp+xptp", {"stlb": "itp", "l2c": "xptp"}),
-    ]
+    (name, suite.policies()) for name, suite in SUITES.items()
 )
 
 
 def config_for(technique: str, base: Optional[SystemConfig] = None) -> SystemConfig:
-    """System configuration for a Table 2 technique name."""
-    try:
-        policies = POLICY_MATRIX[technique]
-    except KeyError:
-        raise ValueError(
-            f"unknown technique {technique!r}; known: {', '.join(POLICY_MATRIX)}"
-        ) from None
+    """System configuration for a Table 2 technique name.
+
+    Unknown techniques raise a ``ValueError`` whose candidate list comes
+    from the suite registry itself.
+    """
+    suite = suite_for(technique)
     base = base or scaled_config()
-    return base.with_policies(**policies)
+    return suite.apply(base)
 
 
 def geomean(values: Sequence[float]) -> float:
@@ -100,14 +92,17 @@ def compare_single_thread(
     measure: int = MEASURE,
     baseline: str = "lru",
     runner: Optional[ParallelRunner] = None,
+    topology: Union[None, str, TopologySpec] = None,
 ) -> Comparison:
     """Run each technique over each workload on one hardware thread.
 
     The full technique x workload matrix is fanned out through ``runner``
     (default: the process-wide runner — serial unless configured otherwise).
+    ``topology`` selects a non-default machine graph by preset name or spec.
     """
     jobs = [
-        SimJob(config_for(technique, base), (wl,), warmup, measure, label=technique)
+        SimJob(config_for(technique, base), (wl,), warmup, measure,
+               label=technique, topology=topology)
         for technique in techniques
         for wl in workloads
     ]
@@ -126,10 +121,12 @@ def compare_smt(
     measure: int = MEASURE,
     baseline: str = "lru",
     runner: Optional[ParallelRunner] = None,
+    topology: Union[None, str, TopologySpec] = None,
 ) -> Comparison:
     """Run each technique over each two-thread mix on the SMT core."""
     jobs = [
-        SimJob(config_for(technique, base), mix.workloads, warmup, measure, label=technique)
+        SimJob(config_for(technique, base), mix.workloads, warmup, measure,
+               label=technique, topology=topology)
         for technique in techniques
         for mix in mixes
     ]

@@ -105,5 +105,16 @@ STATS_BEARING: FrozenSet[str] = frozenset(
 #: The one module allowed to construct/mutate Table 1 parameters (RPR005).
 PARAMS_RELKEY = "common/params.py"
 
+#: Hardware leaf-structure constructors that only the topology layer may
+#: call directly (RPR006).  Everything else goes through a
+#: :class:`TopologySpec` + ``build()`` (or the sanctioned helpers in
+#: ``topology/structures.py``), so machine shape stays declarative.
+TOPOLOGY_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {"SetAssociativeCache", "TLB", "DRAM"}
+)
+
+#: Relkey prefixes exempt from RPR006 — the sanctioned construction layer.
+TOPOLOGY_RELKEY_PREFIXES = ("topology/",)
+
 #: Relkey of the stats schema module RPR004 validates counters against.
 STATS_RELKEY = "common/stats.py"

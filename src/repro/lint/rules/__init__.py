@@ -6,6 +6,7 @@ from typing import List
 
 from .allocations import AllocationRule
 from .base import Rule
+from .construction import TopologyConstructionRule
 from .enumcmp import EnumComparisonRule
 from .params import ParamsImmutabilityRule
 from .slots import SlotsRule
@@ -20,6 +21,7 @@ def all_rules() -> List[Rule]:
         EnumComparisonRule(),
         StatsResetRule(),
         ParamsImmutabilityRule(),
+        TopologyConstructionRule(),
     ]
 
 
@@ -30,5 +32,6 @@ __all__ = [
     "Rule",
     "SlotsRule",
     "StatsResetRule",
+    "TopologyConstructionRule",
     "all_rules",
 ]

@@ -1,9 +1,19 @@
-"""Factory for cache replacement policies by name (Table 2 of the paper)."""
+"""Factory for cache replacement policies by name (Table 2 of the paper).
+
+Built on the shared :class:`repro.common.registry.Registry` base; each entry
+is a factory ``(num_sets, associativity, **context) -> policy``.  The
+context carries policy parameters sourced from :class:`SystemConfig`
+(currently only ``xptp_k``); factories take what they need and ignore the
+rest, so one calling convention covers every policy.  Extensions register
+their own factories on :data:`CACHE_POLICIES` (see
+``examples/custom_policy.py``).
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable
 
+from ..common.registry import Registry
 from .base import CacheReplacementPolicy
 from .drrip import DRRIPPolicy
 from .lru import LRUPolicy
@@ -16,34 +26,49 @@ from .tdrrip import TDRRIPPolicy
 from .tship import TSHiPPolicy
 from .xptp import XPTPPolicy
 
-_FACTORIES: Dict[str, Callable[..., CacheReplacementPolicy]] = {
-    "lru": LRUPolicy,
-    "random": RandomPolicy,
-    "srrip": SRRIPPolicy,
-    "drrip": DRRIPPolicy,
-    "tdrrip": TDRRIPPolicy,
-    "ptp": PTPPolicy,
-    "xptp": XPTPPolicy,
-    "ship": SHiPPolicy,
-    "tship": TSHiPPolicy,
-    "mockingjay": MockingjayPolicy,
-}
+CachePolicyFactory = Callable[..., CacheReplacementPolicy]
+
+#: The process-wide cache-policy registry.
+CACHE_POLICIES: Registry[CachePolicyFactory] = Registry("cache policy")
+
+
+def _simple(cls: type) -> CachePolicyFactory:
+    """Adapt a ``cls(num_sets, associativity)`` constructor to the factory
+    convention (extra context keywords are ignored)."""
+
+    def factory(
+        num_sets: int, associativity: int, **_context: object
+    ) -> CacheReplacementPolicy:
+        return cls(num_sets, associativity)
+
+    return factory
+
+
+def _xptp(num_sets: int, associativity: int, **context: object) -> XPTPPolicy:
+    return XPTPPolicy(num_sets, associativity, k=int(context.get("xptp_k", 8)))
+
+
+for _name, _cls in (
+    ("lru", LRUPolicy),
+    ("random", RandomPolicy),
+    ("srrip", SRRIPPolicy),
+    ("drrip", DRRIPPolicy),
+    ("tdrrip", TDRRIPPolicy),
+    ("ptp", PTPPolicy),
+    ("ship", SHiPPolicy),
+    ("tship", TSHiPPolicy),
+    ("mockingjay", MockingjayPolicy),
+):
+    CACHE_POLICIES.register(_name, _simple(_cls))
+CACHE_POLICIES.register("xptp", _xptp)
 
 
 def available_policies() -> tuple:
-    return tuple(sorted(_FACTORIES))
+    return tuple(sorted(CACHE_POLICIES.names()))
 
 
 def make_cache_policy(
     name: str, num_sets: int, associativity: int, *, xptp_k: int = 8
 ) -> CacheReplacementPolicy:
     """Instantiate a cache replacement policy by its registry name."""
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown cache policy {name!r}; available: {', '.join(available_policies())}"
-        ) from None
-    if name == "xptp":
-        return factory(num_sets, associativity, k=xptp_k)
-    return factory(num_sets, associativity)
+    return CACHE_POLICIES.get(name)(num_sets, associativity, xptp_k=xptp_k)

@@ -17,6 +17,7 @@ access type.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from ..cache.mshr import make_mshr_file
 from ..common.params import SystemConfig
@@ -24,9 +25,11 @@ from ..common.stats import SimStats
 from ..common.types import AccessType, PAGE_BITS, PageSize, RequestType
 from ..ptw.walker import PageTableWalker
 from .policies.chirp import CHiRPPolicy
-from .policies.registry import make_tlb_policy
 from .prefetch import make_stlb_prefetcher
 from .tlb import TLB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..topology.structures import MMUStructures
 
 
 _INSTRUCTION = AccessType.INSTRUCTION
@@ -56,49 +59,35 @@ class TranslationResult:
 class MMU:
     """ITLB + DTLB + (unified or split) STLB + hardware walker."""
 
-    def __init__(self, config: SystemConfig, walker: PageTableWalker, stats: SimStats) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        walker: PageTableWalker,
+        stats: SimStats,
+        structures: Optional["MMUStructures"] = None,
+    ) -> None:
         self.config = config
         self.walker = walker
         self.stats = stats
 
-        self.itlb = TLB(
-            config.itlb,
-            make_tlb_policy("lru", config.itlb.num_sets, config.itlb.associativity),
-            stats.level("ITLB"),
-        )
-        self.dtlb = TLB(
-            config.dtlb,
-            make_tlb_policy("lru", config.dtlb.num_sets, config.dtlb.associativity),
-            stats.level("DTLB"),
-        )
+        if structures is None:
+            # Compatibility path for direct construction (tests, downstream
+            # code): derive the TLB set from the SystemConfig exactly as the
+            # pre-topology wiring did.  Imported lazily — the topology
+            # package imports repro.tlb, so a module-level import here would
+            # close the cycle.
+            from ..topology.structures import mmu_structures
 
-        self.split = config.istlb is not None
+            structures = mmu_structures(config, stats)
+
+        self.itlb = structures.itlb
+        self.dtlb = structures.dtlb
+        self.split = structures.stlb_instr is not None
         if self.split:
-            self.stlb_data = TLB(
-                config.stlb,
-                make_tlb_policy(
-                    config.stlb_policy, config.stlb.num_sets, config.stlb.associativity,
-                    itp_config=config.itp, p_evict_data=config.problru_p,
-                ),
-                stats.level("STLB"),
-            )
-            self.stlb_instr = TLB(
-                config.istlb,
-                make_tlb_policy(
-                    config.stlb_policy, config.istlb.num_sets, config.istlb.associativity,
-                    itp_config=config.itp, p_evict_data=config.problru_p,
-                ),
-                stats.level("STLB"),
-            )
+            self.stlb_data = structures.stlb
+            self.stlb_instr = structures.stlb_instr
         else:
-            self.stlb = TLB(
-                config.stlb,
-                make_tlb_policy(
-                    config.stlb_policy, config.stlb.num_sets, config.stlb.associativity,
-                    itp_config=config.itp, p_evict_data=config.problru_p,
-                ),
-                stats.level("STLB"),
-            )
+            self.stlb = structures.stlb
         self.stlb_mshrs = make_mshr_file(config.stlb.mshr_entries)
         self.prefetcher = make_stlb_prefetcher(config.stlb_prefetcher)
         #: STLB misses since the adaptive controller last sampled (Section

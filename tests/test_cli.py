@@ -57,6 +57,18 @@ class TestMain:
         assert "technique" in out
         assert "itp" in out
 
+    def test_topology_preset_run(self, capsys):
+        rc = main([
+            "--techniques", "lru", "--topology", "no-llc",
+            "--warmup", "1000", "--measure", "5000",
+        ])
+        assert rc == 0
+        assert "topology=no-llc" in capsys.readouterr().out
+
+    def test_unknown_topology(self, capsys):
+        assert main(["--topology", "ring"]) == 2
+        assert "unknown topology" in capsys.readouterr().err
+
     def test_energy_column(self, capsys):
         rc = main([
             "--techniques", "lru", "--energy",

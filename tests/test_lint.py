@@ -263,6 +263,36 @@ class TestRPR005ParamsImmutability:
         assert lint_sources({"common/params.py": src}) == []
 
 
+class TestRPR006TopologyConstruction:
+    def test_direct_construction_is_flagged(self):
+        src = (
+            "def wire(config, stats):\n"
+            "    l2c = SetAssociativeCache(config.l2c, pol, nxt, stats, None)\n"
+            "    itlb = tlb_module.TLB(config.itlb, pol, stats)\n"
+            "    mem = DRAM(config.dram, stats)\n"
+        )
+        diags = lint_sources({"core/system.py": src})
+        assert codes(diags) == ["RPR006", "RPR006", "RPR006"]
+
+    def test_topology_package_is_the_sanctioned_layer(self):
+        src = (
+            "def build_cache(node, config, next_level, stats):\n"
+            "    return SetAssociativeCache(node.config, pol, next_level, stats, None)\n"
+        )
+        assert lint_sources({"topology/structures.py": src}) == []
+
+    def test_suppression_comment_is_honoured(self):
+        src = (
+            "def fixture(stats):\n"
+            "    return TLB(cfg, pol, stats)  # repro: allow[RPR006]\n"
+        )
+        assert lint_sources({"tlb/fixtures.py": src}) == []
+
+    def test_unrelated_calls_pass(self):
+        src = "def f(spec):\n    return build(spec, config)\n"
+        assert lint_sources({"core/system.py": src}) == []
+
+
 class TestRunnerAndCLI:
     def test_syntax_error_becomes_rpr000(self):
         diags = lint_sources({"cache/broken.py": "def f(:\n"})
@@ -290,7 +320,7 @@ class TestRunnerAndCLI:
     def test_cli_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
             assert code in out
 
 
