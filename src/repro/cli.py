@@ -24,7 +24,13 @@ from typing import List
 
 from .common.energy import energy_report
 from .common.params import SystemConfig, scaled_config
-from .experiments.parallel import ParallelRunner, SimJob
+from .experiments.parallel import (
+    FAILURE_POLICIES,
+    ConfigurationError,
+    MatrixError,
+    ParallelRunner,
+    SimJob,
+)
 from .experiments.reporting import format_table
 from .experiments.runner import MEASURE, POLICY_MATRIX, WARMUP, config_for
 from .topology.presets import PRESET_NAMES, resolve_topology
@@ -107,6 +113,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="reuse simulation results cached under DIR (created if missing)",
     )
+    parser.add_argument(
+        "--failure-policy", choices=FAILURE_POLICIES, default=None,
+        help="fail-fast (default) aborts on the first failed cell; "
+             "continue finishes the matrix and reports the failures",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="re-run a failed or timed-out cell up to N times (default 0)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock limit; over-budget cells are cancelled "
+             "and retried (default: none)",
+    )
     parser.add_argument("--list", action="store_true", help="list techniques and exit")
     parser.add_argument("--describe", action="store_true",
                         help="print the simulated system configuration and exit")
@@ -150,16 +170,28 @@ def main(argv: List[str] = None) -> int:
                "stlb_miss_lat", "l2c_dtmpki", "llc_mpki"]
     if args.energy:
         headers.append("pj_per_instr")
-    runner = ParallelRunner(
-        workers=args.workers if args.workers is not None else os.cpu_count() or 1,
-        cache_dir=args.cache_dir,
-        progress=True,
-    )
-    results = runner.run(
-        SimJob(config_for(t), workloads, args.warmup, args.measure,
-               label=t, topology=args.topology)
-        for t in args.techniques
-    )
+    try:
+        runner = ParallelRunner(
+            workers=args.workers if args.workers is not None else os.cpu_count() or 1,
+            cache_dir=args.cache_dir,
+            progress=True,
+            policy=args.failure_policy,
+            max_retries=args.max_retries,
+            timeout=args.cell_timeout,
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        results = runner.run(
+            SimJob(config_for(t), workloads, args.warmup, args.measure,
+                   label=t, topology=args.topology)
+            for t in args.techniques
+        )
+    except MatrixError as exc:
+        print(exc.report.summary(), file=sys.stderr)
+        print(str(exc), file=sys.stderr)
+        return 1
     rows = []
     baseline_ipc = results[0].ipc
     for technique, result in zip(args.techniques, results):

@@ -26,6 +26,13 @@ from . import (
     fig14_split_stlb,
 )
 from .parallel import (
+    CONTINUE,
+    FAIL_FAST,
+    CellReport,
+    CellTimeout,
+    ConfigurationError,
+    MatrixError,
+    MatrixReport,
     ParallelRunner,
     ResultCache,
     SimJob,
@@ -49,9 +56,16 @@ from .runner import (
 )
 
 __all__ = [
+    "CONTINUE",
+    "CellReport",
+    "CellTimeout",
     "Comparison",
+    "ConfigurationError",
+    "FAIL_FAST",
     "FigureResult",
     "MEASURE",
+    "MatrixError",
+    "MatrixReport",
     "POLICY_MATRIX",
     "ParallelRunner",
     "ResultCache",

@@ -9,6 +9,13 @@ the simulations of each figure over N processes (default: all cores);
 ``--topology NAME`` runs every figure on a non-default machine graph
 (a preset such as ``split-stlb`` or ``no-llc`` — see
 ``repro.topology.presets``).
+
+Fault tolerance (see ``docs/robustness.md``): ``--failure-policy
+fail-fast|continue`` (continue finishes the whole matrix and reports the
+failed cells instead of aborting on the first), ``--max-retries N``
+re-runs failed or timed-out cells, and ``--cell-timeout SECONDS`` bounds
+each cell's wall clock.  A run with failed cells prints the per-cell
+``MatrixReport`` and exits non-zero.
 """
 
 from __future__ import annotations
@@ -34,7 +41,13 @@ from . import (
     fig14_split_stlb,
 )
 from .export import write_csv
-from .parallel import ParallelRunner, set_default_runner
+from .parallel import (
+    FAILURE_POLICIES,
+    ConfigurationError,
+    MatrixError,
+    ParallelRunner,
+    set_default_runner,
+)
 from .reporting import format_figure
 
 
@@ -89,6 +102,23 @@ def main(argv) -> int:
         workers = _take_option(argv, "--workers")
         cache_dir = _take_option(argv, "--cache-dir")
         topology = _take_option(argv, "--topology")
+        failure_policy = _take_option(argv, "--failure-policy")
+        max_retries = _take_option(argv, "--max-retries")
+        cell_timeout = _take_option(argv, "--cell-timeout")
+        if failure_policy is not None and failure_policy not in FAILURE_POLICIES:
+            raise _OptionError(
+                f"--failure-policy takes one of {', '.join(FAILURE_POLICIES)}, "
+                f"got {failure_policy!r}"
+            )
+        if max_retries is not None and not max_retries.isdigit():
+            raise _OptionError(f"--max-retries takes a count, got {max_retries!r}")
+        if cell_timeout is not None:
+            try:
+                float(cell_timeout)
+            except ValueError:
+                raise _OptionError(
+                    f"--cell-timeout takes seconds, got {cell_timeout!r}"
+                ) from None
         if topology is not None:
             # Fail fast on a bad preset name before any simulation runs.
             from ..common.params import scaled_config
@@ -114,13 +144,32 @@ def main(argv) -> int:
         print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(RUNNERS)} or 'all'", file=sys.stderr)
         return 2
-    runner = ParallelRunner(workers=workers, cache_dir=cache_dir, progress=True)
+    try:
+        runner = ParallelRunner(
+            workers=workers, cache_dir=cache_dir, progress=True,
+            policy=failure_policy,
+            max_retries=None if max_retries is None else int(max_retries),
+            timeout=None if cell_timeout is None else float(cell_timeout),
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     previous = set_default_runner(runner)
     run_kwargs = {} if topology is None else {"topology": topology}
+    failed_figures = []
     try:
         for name in names:
             start = time.time()
-            for figure in _results(RUNNERS[name](**run_kwargs)):
+            try:
+                figures = _results(RUNNERS[name](**run_kwargs))
+            except MatrixError as exc:
+                # Collect-and-continue: the matrix finished, some cells
+                # failed.  Report them and move on to the next figure.
+                failed_figures.append(name)
+                print(exc.report.summary(), file=sys.stderr)
+                print(f"[{name}: FAILED — {exc}]\n", file=sys.stderr)
+                continue
+            for figure in figures:
                 print(format_figure(figure))
                 print()
                 if csv_dir is not None:
@@ -129,6 +178,9 @@ def main(argv) -> int:
             print(f"[{name}: {time.time() - start:.0f}s]\n")
     finally:
         set_default_runner(previous)
+    if failed_figures:
+        print(f"failed figures: {', '.join(failed_figures)}", file=sys.stderr)
+        return 1
     return 0
 
 
