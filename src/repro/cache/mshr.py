@@ -8,6 +8,15 @@ to the cache block when the fill returns (Figure 7, steps 3/3.1); iTP does
 the same for STLB misses (step 2).  Exceeding the MSHR count charges a
 structural-hazard penalty, which is how MSHR pressure shows up in the
 simplified timing model.
+
+Structural-hazard semantics: when the file is full, the oldest outstanding
+miss is *retired* — the model pretends its fill completed early (fills are
+synchronous anyway) and charges the penalty.  A retired entry is not
+dropped: it moves to a retirement buffer so the in-flight ``release`` of
+that block still returns the entry and its Type bits still reach the cache
+block (Figure 7 step 3.1 must survive MSHR pressure).  The buffer is
+bounded by the nesting depth of the synchronous hierarchy and is drained by
+``release``; the quiescence invariant counts it as outstanding state.
 """
 
 from __future__ import annotations
@@ -29,6 +38,24 @@ class MSHREntry:
     translation_type: Optional[AccessType] = None
 
 
+def _merge_type_bits(
+    entry: MSHREntry, is_pte: bool, translation_type: Optional[AccessType]
+) -> None:
+    """Fold incoming Type information into ``entry``, only strengthening it.
+
+    Once any requester marks the block as a PTE line the bit sticks, and a
+    data-translation mark dominates an instruction one (the paper's xPTP
+    protects *data* PTEs, so losing the DATA mark would disable protection).
+    """
+    if not is_pte:
+        return
+    entry.is_pte = True
+    if entry.translation_type is None:
+        entry.translation_type = translation_type
+    elif translation_type is AccessType.DATA:
+        entry.translation_type = AccessType.DATA
+
+
 class MSHRFile:
     """Fixed-capacity MSHR file with structural-hazard accounting."""
 
@@ -38,22 +65,32 @@ class MSHRFile:
         self.num_entries = num_entries
         self.full_penalty = full_penalty
         self._entries: Dict[int, MSHREntry] = {}
+        #: Structurally retired entries awaiting their in-flight release.
+        self._retired: Dict[int, MSHREntry] = {}
         self.allocations = 0
         self.merges = 0
         self.full_events = 0
+        self.retirements = 0
 
     def __len__(self) -> int:
+        """Live (capacity-occupying) entries; retired entries excluded."""
         return len(self._entries)
+
+    def outstanding(self) -> int:
+        """Live plus retired entries — everything still awaiting a release."""
+        return len(self._entries) + len(self._retired)
 
     def reset_stats(self) -> None:
         """Clear event counters at the warmup/measurement boundary.
 
-        Outstanding entries are state, not statistics, so they survive the
-        reset (their Type bits must still reach in-flight fills).
+        Outstanding entries — live *and* retired — are state, not
+        statistics, so they survive the reset (their Type bits must still
+        reach in-flight fills).
         """
         self.allocations = 0
         self.merges = 0
         self.full_events = 0
+        self.retirements = 0
 
     def lookup(self, block_address: int) -> Optional[MSHREntry]:
         return self._entries.get(block_address)
@@ -69,33 +106,45 @@ class MSHRFile:
 
         A merge keeps the strongest Type information: once any requester
         marks the block as a data-PTE line, the bit sticks so the fill tags
-        the cache block correctly.
+        the cache block correctly.  Re-allocating a block whose entry was
+        structurally retired re-merges the retired Type bits into the fresh
+        entry (two misses to one block are one outstanding miss).
         """
         entry = self._entries.get(block_address)
         if entry is not None:
             self.merges += 1
-            if is_pte:
-                entry.is_pte = True
-                if entry.translation_type is None:
-                    entry.translation_type = translation_type
-                elif translation_type is AccessType.DATA:
-                    entry.translation_type = AccessType.DATA
+            _merge_type_bits(entry, is_pte, translation_type)
             return entry
         if len(self._entries) >= self.num_entries:
             # Structural hazard: the model retires the oldest entry
             # immediately (fills are synchronous) and charges a penalty.
             self.full_events += 1
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
+            self._retire(next(iter(self._entries)))
         # One entry per outstanding miss: allocation happens off the hit path.
         entry = MSHREntry(block_address, req_type, is_pte, translation_type)  # repro: allow[RPR001]
+        if self._retired:
+            retired = self._retired.pop(block_address, None)
+            if retired is not None:
+                _merge_type_bits(entry, retired.is_pte, retired.translation_type)
         self._entries[block_address] = entry
         self.allocations += 1
         return entry
 
+    def _retire(self, block_address: int) -> None:
+        """Structurally retire ``block_address`` (overridden by the checker)."""
+        self.retirements += 1
+        self._retired[block_address] = self._entries.pop(block_address)
+
     def release(self, block_address: int) -> Optional[MSHREntry]:
-        """Complete the fill: remove and return the entry (with its Type bit)."""
-        return self._entries.pop(block_address, None)
+        """Complete the fill: remove and return the entry (with its Type bit).
+
+        A structurally retired entry is still returned here — retirement
+        parks the Type bits in the retirement buffer, it does not drop them.
+        """
+        entry = self._entries.pop(block_address, None)
+        if entry is None and self._retired:
+            entry = self._retired.pop(block_address, None)
+        return entry
 
     def structural_penalty(self) -> int:
         """Extra cycles to charge if the file is (nearly) full."""
@@ -109,7 +158,14 @@ class CheckedMSHRFile(MSHRFile):
     the Figure 7 propagation property: once any requester marks an
     outstanding miss as a (data-)PTE line, the information must stick until
     the fill releases the entry — merges may only strengthen it, and nothing
-    between allocation and release may rewrite the bits.
+    between allocation and release (including structural retirement) may
+    rewrite the bits.
+
+    The shadow spans every outstanding entry, live *or* retired: a
+    structurally retired miss is still awaiting its release, so its key
+    stays shadowed until ``release`` pops it.  Each operation updates the
+    shadow O(1) at the key it touches; :meth:`verify_shadow_sync` asserts
+    the shadow key set equals the outstanding key set.
     """
 
     def __init__(self, num_entries: int, full_penalty: int = 2) -> None:
@@ -117,10 +173,13 @@ class CheckedMSHRFile(MSHRFile):
         #: block_address -> (is_pte, translation_type) expected on release.
         self._shadow: Dict[int, Tuple[bool, Optional[AccessType]]] = {}
 
-    def _expected_after_merge(
-        self, block_address: int, is_pte: bool, translation_type: Optional[AccessType]
+    @staticmethod
+    def _strengthened(
+        old: Tuple[bool, Optional[AccessType]],
+        is_pte: bool,
+        translation_type: Optional[AccessType],
     ) -> Tuple[bool, Optional[AccessType]]:
-        old_pte, old_type = self._shadow[block_address]
+        old_pte, old_type = old
         if not is_pte:
             return old_pte, old_type
         new_type = old_type
@@ -137,11 +196,21 @@ class CheckedMSHRFile(MSHRFile):
         is_pte: bool = False,
         translation_type: Optional[AccessType] = None,
     ) -> MSHREntry:
-        merging = block_address in self._entries
         expected: Optional[Tuple[bool, Optional[AccessType]]] = None
-        if merging:
-            self._check_entry(block_address, "before merge into")
-            expected = self._expected_after_merge(block_address, is_pte, translation_type)
+        if block_address in self._entries:
+            self._check_bits(block_address, self._entries[block_address], "before merge into")
+            expected = self._strengthened(
+                self._shadow[block_address], is_pte, translation_type
+            )
+        elif block_address in self._retired:
+            # Re-allocation folds the retired bits back in: the fresh entry
+            # must carry at least what the retired one did.
+            self._check_bits(block_address, self._retired[block_address], "at re-allocation of")
+            expected = self._strengthened(
+                (is_pte, translation_type),
+                self._retired[block_address].is_pte,
+                self._retired[block_address].translation_type,
+            )
         entry = super().allocate(block_address, req_type, is_pte, translation_type)
         if expected is not None:
             actual = (entry.is_pte, entry.translation_type)
@@ -150,21 +219,34 @@ class CheckedMSHRFile(MSHRFile):
                     f"MSHR merge weakened Type bits for block {block_address:#x}: "
                     f"expected {expected}, got {actual}"
                 )
-        # Re-sync the shadow: a structural-hazard allocation may have retired
-        # the oldest entry, and a fresh allocation adds a new one.
         self._shadow[block_address] = (entry.is_pte, entry.translation_type)
-        for stale in [b for b in self._shadow if b not in self._entries]:
-            del self._shadow[stale]
         return entry
 
+    def _retire(self, block_address: int) -> None:
+        # The entry moves live -> retired but stays outstanding, so its
+        # shadow record stays put; verify nothing rewrote the bits first.
+        self._check_bits(block_address, self._entries[block_address], "at retirement of")
+        super()._retire(block_address)
+
     def release(self, block_address: int) -> Optional[MSHREntry]:
-        if block_address in self._entries:
-            self._check_entry(block_address, "at release of")
+        pending = self._entries.get(block_address)
+        if pending is None:
+            pending = self._retired.get(block_address)
+        if pending is not None:
+            self._check_bits(block_address, pending, "at release of")
         self._shadow.pop(block_address, None)
         return super().release(block_address)
 
-    def _check_entry(self, block_address: int, when: str) -> None:
-        entry = self._entries[block_address]
+    def verify_shadow_sync(self) -> None:
+        """Assert the shadow covers exactly the outstanding (live ∪ retired) keys."""
+        outstanding = self._entries.keys() | self._retired.keys()
+        if self._shadow.keys() != outstanding:
+            raise InvariantViolation(
+                "MSHR shadow desynchronized: shadow keys "
+                f"{sorted(self._shadow)} != outstanding keys {sorted(outstanding)}"
+            )
+
+    def _check_bits(self, block_address: int, entry: MSHREntry, when: str) -> None:
         expected = self._shadow.get(block_address)
         actual = (entry.is_pte, entry.translation_type)
         if expected is not None and actual != expected:

@@ -169,8 +169,12 @@ def check_no_leaked_mshr_entries(system: "System") -> None:
         (cache.config.name, cache.mshrs) for cache in system.caches
     ] + [("STLB", system.mmu.stlb_mshrs)]
     for name, mshrs in files:
-        if len(mshrs):
+        # outstanding() counts live and structurally retired entries: a
+        # retired entry still awaits its release, so one left over at a
+        # quiescent point is just as much a leak as a live one.
+        count = mshrs.outstanding()
+        if count:
             raise InvariantViolation(
-                f"{name} MSHR file holds {len(mshrs)} leaked entr"
-                f"{'y' if len(mshrs) == 1 else 'ies'} at a quiescent point"
+                f"{name} MSHR file holds {count} leaked entr"
+                f"{'y' if count == 1 else 'ies'} at a quiescent point"
             )

@@ -83,6 +83,7 @@ def _export_structures(system: System, stats: SimStats) -> None:
         stats.counters[f"{key}.mshr_allocations"] = cache.mshrs.allocations
         stats.counters[f"{key}.mshr_merges"] = cache.mshrs.merges
         stats.counters[f"{key}.mshr_full_events"] = cache.mshrs.full_events
+        stats.counters[f"{key}.mshr_retirements"] = cache.mshrs.retirements
     stats.counters["stlb.mshr_allocations"] = system.mmu.stlb_mshrs.allocations
     if system.config.dram.row_buffer:
         stats.counters["dram.row_hits"] = system.dram.row_hits

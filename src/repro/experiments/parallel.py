@@ -71,7 +71,9 @@ from ..workloads.base import SyntheticWorkload
 
 #: Bump to invalidate every cached result (e.g. after a simulator behaviour
 #: change that job descriptions cannot see).  4: checksummed entry format.
-CACHE_VERSION = 4
+#: 5: MSHR structural retirement preserves Type bits (and exports
+#: ``*.mshr_retirements``), so cells simulated before the fix are stale.
+CACHE_VERSION = 5
 
 #: Failure policies: fail-fast preserves the historical behaviour (first
 #: failed cell raises :class:`SimulationError` and cancels the backlog);

@@ -151,6 +151,21 @@ class TLB:
         del self._key_maps[set_index][entry.key]
         entry.invalidate()
 
+    def invalidate(self, vaddr: int) -> bool:
+        """Invalidate the translation covering ``vaddr`` (shootdown model).
+
+        Probes both page sizes; returns True iff an entry was removed.  Goes
+        through the same eviction path as replacement (the policy's
+        ``on_evict`` must drop its recency/metadata state either way), so
+        ``stats.evictions`` counts replacement and invalidation removals.
+        """
+        for size in (PageSize.SIZE_4K, PageSize.SIZE_2M):
+            found = self._find(vaddr, size)
+            if found is not None:
+                self._evict(*found)
+                return True
+        return False
+
     # ------------------------------------------------------------------ #
 
     def probe(self, vaddr: int) -> bool:

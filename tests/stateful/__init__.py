@@ -1,0 +1,19 @@
+"""Protocol-level stateful property tests (Hypothesis RuleBasedStateMachines).
+
+Four machines drive the simulator's stateful protocols against independent
+pure-Python models derived from the paper text, with the ``REPRO_CHECK``
+shadow implementations (``CheckedRecencyStack``, ``CheckedMSHRFile``)
+running as live oracles inside every example:
+
+* ``test_mshr_machine`` — the MSHR file protocol (allocate/merge/release/
+  structural retirement/reset_stats) against a pure-dict model;
+* ``test_cache_machine`` — a cache set + recency stack + replacement policy
+  (LRU and xPTP) against a reference residency/victim model;
+* ``test_tlb_machine`` — the TLB with LRU/iTP/CHiRP across hit/miss/
+  invalidate sequences (insert-depth and saturation invariants);
+* ``test_warmup_machine`` — the warmup/measurement boundary: ``reset_stats``
+  clears every counter while preserving microarchitectural state.
+
+Intensity tiers (``dev``/``ci``/``deep``) live in :mod:`.profiles`; select
+one with ``REPRO_HYPOTHESIS_PROFILE``.  See ``docs/testing.md``.
+"""

@@ -1,0 +1,65 @@
+"""Pure-Python reference models for the stateful machines.
+
+Everything here is written from the *paper text* (and the module
+docstrings quoting it), deliberately not from the implementation: simple
+lists and dicts, O(associativity) everywhere.  The machines replay each
+operation on both the hardware structure and these models and assert
+identical observable behaviour, so a divergence always points at whichever
+side misreads the spec.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.types import AccessType
+
+Bits = Tuple[bool, Optional[AccessType]]
+
+
+def strengthen(bits: Bits, is_pte: bool, translation_type: Optional[AccessType]) -> Bits:
+    """The Type-bit merge rule: once PTE always PTE; a DATA mark dominates;
+    otherwise the first recorded type wins."""
+    old_pte, old_type = bits
+    if not is_pte:
+        return old_pte, old_type
+    if translation_type is AccessType.DATA or old_type is AccessType.DATA:
+        return True, AccessType.DATA
+    return True, old_type if old_type is not None else translation_type
+
+
+def xptp_victim(is_data_pte: List[bool], k: int) -> Tuple[int, bool]:
+    """xPTP victim selection (Figure 6 steps a-d) over an MRU→LRU set view.
+
+    ``is_data_pte[i]`` describes the block at stack position ``i`` (0 = MRU).
+    Returns ``(victim_index, protected)`` where ``protected`` is True iff an
+    alternative victim was chosen to protect a data-PTE LRU block — the
+    event ``XPTPPolicy.protected_evictions_avoided`` counts.  The boundary:
+    an alternative exactly ``k`` positions above LRU is still taken; one
+    *more than* ``k`` above falls back to the plain LRU victim (step c).
+    """
+    lru = len(is_data_pte) - 1
+    if not is_data_pte[lru]:
+        return lru, False
+    for height in range(len(is_data_pte)):
+        index = lru - height
+        if not is_data_pte[index]:
+            if height > k:
+                return lru, False
+            return index, True
+    return lru, False
+
+
+def place_at_depth(order: List[int], item: int, depth: int) -> None:
+    """Insert/move ``item`` to ``depth`` positions below MRU (clamped)."""
+    if item in order:
+        order.remove(item)
+    order.insert(max(0, min(depth, len(order))), item)
+
+
+def place_above_lru(order: List[int], item: int, height: int) -> None:
+    """Insert/move ``item`` to ``height`` positions above the LRU end (clamped)."""
+    if item in order:
+        order.remove(item)
+    index = len(order) - max(0, min(height, len(order)))
+    order.insert(index, item)

@@ -1,0 +1,46 @@
+"""Helpers to run the ``REPRO_CHECK`` shadow implementations as live oracles.
+
+The production factories (``stack_factory``, ``make_mshr_file``) read the
+``REPRO_CHECK`` environment variable at *construction* time, so building a
+structure inside :func:`repro_check_enabled` permanently arms its checked
+variant — every subsequent operation the state machine performs is verified
+by the differential/shadow oracle, regardless of the environment afterwards.
+
+The warmup-boundary machine keeps the variable set for its whole lifetime
+instead (via :func:`enable_repro_check` / :func:`restore_repro_check`)
+because ``System.reset_stats`` consults it at call time for the
+leaked-MSHR-entry quiescence check.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.common.invariants import ENV_VAR
+
+
+@contextmanager
+def repro_check_enabled() -> Iterator[None]:
+    """Force ``REPRO_CHECK=1`` for the duration of the block."""
+    token = enable_repro_check()
+    try:
+        yield
+    finally:
+        restore_repro_check(token)
+
+
+def enable_repro_check() -> Optional[str]:
+    """Set ``REPRO_CHECK=1``; returns the previous value for restoration."""
+    old = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = "1"
+    return old
+
+
+def restore_repro_check(old: Optional[str]) -> None:
+    """Undo :func:`enable_repro_check` given its return value."""
+    if old is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = old

@@ -1,0 +1,61 @@
+"""Tiered Hypothesis settings profiles for the stateful protocol suite.
+
+One place to set test intensity, instead of inline ``@settings`` per
+machine.  Select a tier with the ``REPRO_HYPOTHESIS_PROFILE`` environment
+variable (default ``dev``):
+
+* ``dev``  — fast local feedback: few examples, short rule sequences.
+* ``ci``   — the main CI test job: enough state exploration to be a real
+  gate without dominating the job's wall clock.
+* ``deep`` — the scheduled/label-gated CI job and pre-release runs:
+  1000+ examples with long rule sequences, intended to be paired with
+  ``REPRO_CHECK=1`` so the shadow oracles run inside every example.
+
+Reproducing a failure: Hypothesis prints the failing rule sequence and a
+``reproduce_failure`` blob (``print_blob`` is on in every tier), and the
+example database under ``.hypothesis/`` replays known failures first on
+the next run — see docs/testing.md for the workflow.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+#: Environment variable naming the active profile.
+PROFILE_ENV = "REPRO_HYPOTHESIS_PROFILE"
+
+#: Tier name -> (max_examples, stateful_step_count).
+PROFILES = {
+    "dev": (25, 30),
+    "ci": (150, 50),
+    "deep": (1000, 100),
+}
+
+for _name, (_examples, _steps) in PROFILES.items():
+    settings.register_profile(
+        _name,
+        max_examples=_examples,
+        stateful_step_count=_steps,
+        deadline=None,
+        # The machines build whole hardware structures per example and the
+        # deep tier runs shadow oracles on every operation; wall-clock
+        # health checks would only flag the intended thoroughness.
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+        print_blob=True,
+    )
+
+
+def load_active_profile() -> str:
+    """Load the profile named by ``REPRO_HYPOTHESIS_PROFILE`` (default dev)."""
+    name = os.environ.get(PROFILE_ENV, "dev").strip().lower() or "dev"
+    if name not in PROFILES:
+        raise ValueError(
+            f"unknown {PROFILE_ENV} value {name!r}; available: {', '.join(PROFILES)}"
+        )
+    settings.load_profile(name)
+    return name
+
+
+ACTIVE_PROFILE = load_active_profile()

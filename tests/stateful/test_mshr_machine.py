@@ -1,0 +1,157 @@
+"""Stateful protocol test: the MSHR file against a pure-dict model.
+
+The machine interleaves allocate (fresh, merge and structural-hazard
+paths), release, lookup and ``reset_stats`` and checks, after every rule:
+
+* **Type-bit monotonicity** — bits recorded at allocation only ever
+  strengthen (merge rule: PTE sticks, DATA dominates) and come back intact
+  at release, even when the entry was structurally retired in between
+  (the synapse32 bug catalog's merge-on-inflight / fill-evict race class);
+* **capacity** — live entries never exceed ``num_entries`` and everything
+  outstanding (live + retired) is eventually releasable;
+* **no leak-on-reset** — ``reset_stats`` zeroes the event counters and
+  nothing else: entries, Type bits and the retirement buffer survive.
+
+The implementation under test is :class:`CheckedMSHRFile`, so the shadow
+oracle verifies every operation from the inside while the dict model
+verifies it from the outside; ``verify_shadow_sync`` pins the shadow's
+key set to the outstanding key set after every rule (the O(entries)
+stale-shadow sweep this replaced is exactly what used to hide the
+structural-retirement Type-bit drop).
+"""
+
+from collections import OrderedDict
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.cache.mshr import CheckedMSHRFile
+from repro.common.types import AccessType, RequestType
+
+from . import profiles  # noqa: F401  (registers and loads the settings profile)
+from .models import strengthen
+
+CAPACITY = 3
+
+#: (req_type, is_pte, translation_type) shapes the simulator actually issues.
+REQUEST_KINDS = st.sampled_from(
+    [
+        (RequestType.LOAD, False, None),
+        (RequestType.STORE, False, None),
+        (RequestType.IFETCH, False, None),
+        (RequestType.PTW, True, AccessType.INSTRUCTION),
+        (RequestType.PTW, True, AccessType.DATA),
+        # Writeback-carried bits can be "PTE, type unknown".
+        (RequestType.WRITEBACK, True, None),
+    ]
+)
+
+BLOCKS = st.integers(min_value=0, max_value=7)
+
+
+class MSHRProtocolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.file = CheckedMSHRFile(CAPACITY)
+        #: block -> (is_pte, translation_type), insertion-ordered like the file.
+        self.live = OrderedDict()
+        self.retired = {}
+        self.counts = {"allocations": 0, "merges": 0, "full_events": 0, "retirements": 0}
+
+    # ------------------------------------------------------------------ #
+    # Rules
+    # ------------------------------------------------------------------ #
+
+    @rule(block=BLOCKS, kind=REQUEST_KINDS)
+    def allocate(self, block, kind):
+        req_type, is_pte, translation_type = kind
+        if block in self.live:
+            self.counts["merges"] += 1
+            self.live[block] = strengthen(self.live[block], is_pte, translation_type)
+        else:
+            if len(self.live) >= CAPACITY:
+                self.counts["full_events"] += 1
+                self.counts["retirements"] += 1
+                oldest, bits = next(iter(self.live.items()))
+                del self.live[oldest]
+                self.retired[oldest] = bits
+            bits = (is_pte, translation_type)
+            if block in self.retired:
+                # Re-allocation of a retired block folds its bits back in.
+                bits = strengthen(bits, *self.retired.pop(block))
+            self.live[block] = bits
+            self.counts["allocations"] += 1
+        entry = self.file.allocate(block, req_type, is_pte, translation_type)
+        assert (entry.is_pte, entry.translation_type) == self.live[block]
+
+    @rule(block=BLOCKS)
+    def release(self, block):
+        if block in self.live:
+            expected = self.live.pop(block)
+        elif block in self.retired:
+            expected = self.retired.pop(block)
+        else:
+            expected = None
+        entry = self.file.release(block)
+        if expected is None:
+            assert entry is None
+        else:
+            assert entry is not None, f"release({block}) dropped an outstanding entry"
+            assert (entry.is_pte, entry.translation_type) == expected
+
+    @rule(block=BLOCKS)
+    def lookup(self, block):
+        entry = self.file.lookup(block)
+        if block in self.live:
+            assert entry is not None
+            assert (entry.is_pte, entry.translation_type) == self.live[block]
+        else:
+            # Retired entries are no longer live: lookups must miss them.
+            assert entry is None
+
+    @rule()
+    def reset_stats(self):
+        before = (len(self.file), self.file.outstanding())
+        self.file.reset_stats()
+        for name in self.counts:
+            self.counts[name] = 0
+        # Counters clear; state (live entries, retired buffer, bits) survives.
+        assert (len(self.file), self.file.outstanding()) == before
+        for block, bits in self.live.items():
+            entry = self.file.lookup(block)
+            assert entry is not None
+            assert (entry.is_pte, entry.translation_type) == bits
+
+    # ------------------------------------------------------------------ #
+    # Invariants
+    # ------------------------------------------------------------------ #
+
+    @invariant()
+    def capacity_holds(self):
+        assert len(self.file) == len(self.live) <= CAPACITY
+
+    @invariant()
+    def outstanding_matches_model(self):
+        assert self.file.outstanding() == len(self.live) + len(self.retired)
+
+    @invariant()
+    def shadow_is_synchronized(self):
+        self.file.verify_shadow_sync()
+
+    @invariant()
+    def counters_match_model(self):
+        actual = {
+            "allocations": self.file.allocations,
+            "merges": self.file.merges,
+            "full_events": self.file.full_events,
+            "retirements": self.file.retirements,
+        }
+        assert actual == self.counts
+
+    @invariant()
+    def penalty_iff_full(self):
+        expected = self.file.full_penalty if len(self.live) >= CAPACITY else 0
+        assert self.file.structural_penalty() == expected
+
+
+TestMSHRProtocol = MSHRProtocolMachine.TestCase

@@ -1,0 +1,320 @@
+"""Stateful protocol test: one TLB level under iTP, CHiRP and LRU.
+
+Drives a small two-set :class:`TLB` (built under ``REPRO_CHECK=1``, so every
+recency-stack operation runs the differential oracle) with interleaved
+lookups, inserts (end-of-page-walk refills) and shootdown invalidations
+over *both* page sizes, against a residency model that replays the exact
+dual-probe key scheme (4 KB probed before 2 MB).
+
+For LRU and iTP the model additionally replays the full per-set MRU→LRU
+order — for iTP that means Figure 5 verbatim: instruction inserts at
+``MRUpos − N`` with ``Freq = 0``, data inserts at ``LRUpos``, saturated
+instruction hits promote to MRU while unsaturated ones re-place at
+``MRUpos − N`` and increment ``Freq``, data hits promote to ``LRUpos + M``
+— so the insert-depth and saturation invariants hold after every step, not
+just on hand-picked sequences.  CHiRP's order depends on its confidence
+table, so its machine feeds ``observe_fetch_page`` and checks structural
+invariants instead: key-map/entry bijection, stack membership == valid
+ways, table counters within ``[0, CONF_MAX]``.
+"""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.common.params import ITPConfig, TLBConfig
+from repro.common.stats import LevelStats
+from repro.common.types import AccessType, LARGE_PAGE_BITS, PAGE_BITS, PageSize
+from repro.tlb.policies.chirp import CONF_MAX, CHiRPPolicy
+from repro.tlb.policies.itp import ITPPolicy
+from repro.tlb.policies.lru import TLBLRUPolicy
+from repro.tlb.tlb import TLB
+
+from . import profiles  # noqa: F401  (registers and loads the settings profile)
+from .models import place_above_lru, place_at_depth
+from .oracles import repro_check_enabled
+
+ENTRIES = 8
+ASSOC = 4
+SETS = ENTRIES // ASSOC
+ITP = ITPConfig(insert_depth_n=1, data_promote_m=2)
+MISS_LATENCY = 10
+
+VPNS = st.integers(min_value=0, max_value=7)
+PAGE_SIZES = st.sampled_from([PageSize.SIZE_4K, PageSize.SIZE_2M])
+ACCESS_TYPES = st.sampled_from([AccessType.INSTRUCTION, AccessType.DATA])
+
+
+def _vaddr(vpn, page_size):
+    shift = PAGE_BITS if page_size is PageSize.SIZE_4K else LARGE_PAGE_BITS
+    return vpn << shift
+
+
+def _key(vpn, page_size):
+    return (vpn << 1) | (1 if page_size is PageSize.SIZE_2M else 0)
+
+
+class _Entry:
+    """Model translation: everything the invariants compare against."""
+
+    __slots__ = ("vpn", "pfn", "page_size", "access_type", "freq")
+
+    def __init__(self, vpn, pfn, page_size, access_type):
+        self.vpn = vpn
+        self.pfn = pfn
+        self.page_size = page_size
+        self.access_type = access_type
+        self.freq = 0
+
+
+class TLBProtocolMachine(RuleBasedStateMachine):
+    """Residency/statistics model shared by all three policies."""
+
+    replacement = "lru"
+
+    def _make_policy(self):
+        raise NotImplementedError
+
+    def __init__(self):
+        super().__init__()
+        config = TLBConfig(
+            "MACHTLB", entries=ENTRIES, associativity=ASSOC, latency=1,
+            replacement=self.replacement,
+        )
+        with repro_check_enabled():
+            self.tlb = TLB(config, self._make_policy(), LevelStats("MACHTLB"))
+        #: Per set: key -> _Entry, plus the MRU→LRU key order.
+        self.entries = [{} for _ in range(SETS)]
+        self.order = [[] for _ in range(SETS)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Model policy hooks (LRU; subclasses override for iTP)
+    # ------------------------------------------------------------------ #
+
+    def _model_on_insert(self, set_index, key, entry, access_type):
+        place_at_depth(self.order[set_index], key, 0)
+
+    def _model_on_hit(self, set_index, key, entry, access_type):
+        place_at_depth(self.order[set_index], key, 0)
+
+    # ------------------------------------------------------------------ #
+    # Model transitions (replaying the TLB's dual-probe key scheme)
+    # ------------------------------------------------------------------ #
+
+    def _model_probe(self, vaddr):
+        """4 KB probe first, then 2 MB — exactly like ``TLB.lookup``."""
+        for page_size in (PageSize.SIZE_4K, PageSize.SIZE_2M):
+            shift = PAGE_BITS if page_size is PageSize.SIZE_4K else LARGE_PAGE_BITS
+            vpn = vaddr >> shift
+            key = _key(vpn, page_size)
+            set_index = vpn & (SETS - 1)
+            if key in self.entries[set_index]:
+                return set_index, key
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Rules
+    # ------------------------------------------------------------------ #
+
+    @rule(vpn=VPNS, page_size=PAGE_SIZES, access_type=ACCESS_TYPES)
+    def lookup(self, vpn, page_size, access_type):
+        vaddr = _vaddr(vpn, page_size)
+        found = self._model_probe(vaddr)
+        entry = self.tlb.lookup(vaddr, access_type)
+        if found is None:
+            assert entry is None
+            self.misses += 1
+            # The MMU records the miss once the walk latency is known.
+            self.tlb.record_miss(access_type, MISS_LATENCY)
+            return
+        assert entry is not None, f"lookup({vaddr:#x}) missed a resident entry"
+        set_index, key = found
+        model = self.entries[set_index][key]
+        assert (entry.vpn, entry.pfn, entry.page_size) == (
+            model.vpn, model.pfn, model.page_size,
+        )
+        assert entry.access_type is model.access_type
+        self.hits += 1
+        self._model_on_hit(set_index, key, model, access_type)
+
+    @rule(vpn=VPNS, page_size=PAGE_SIZES, access_type=ACCESS_TYPES)
+    def insert(self, vpn, page_size, access_type):
+        vaddr = _vaddr(vpn, page_size)
+        page_vpn = vaddr >> (
+            PAGE_BITS if page_size is PageSize.SIZE_4K else LARGE_PAGE_BITS
+        )
+        key = _key(page_vpn, page_size)
+        set_index = page_vpn & (SETS - 1)
+        entries = self.entries[set_index]
+        if key in entries:
+            model = entries[key]
+            model.pfn = page_vpn  # refill overwrites the translation
+            model.access_type = access_type
+        else:
+            if len(entries) >= ASSOC:
+                victim_key = self.order[set_index][-1]  # all three evict LRU
+                del entries[victim_key]
+                self.order[set_index].remove(victim_key)
+                self.evictions += 1
+            model = _Entry(page_vpn, page_vpn, page_size, access_type)
+            entries[key] = model
+        returned = self.tlb.insert(vaddr, page_vpn, page_size, access_type)
+        self._model_on_insert(set_index, key, model, access_type)
+        assert (returned.vpn, returned.pfn) == (page_vpn, page_vpn)
+
+    @rule(vpn=VPNS, page_size=PAGE_SIZES)
+    def invalidate(self, vpn, page_size):
+        vaddr = _vaddr(vpn, page_size)
+        found = self._model_probe(vaddr)  # _find probes 4 KB before 2 MB too
+        removed = self.tlb.invalidate(vaddr)
+        if found is None:
+            assert removed is False
+            return
+        assert removed is True
+        set_index, key = found
+        del self.entries[set_index][key]
+        self.order[set_index].remove(key)
+        self.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # Invariants
+    # ------------------------------------------------------------------ #
+
+    @invariant()
+    def check_residency_matches_model(self):
+        tlb = self.tlb
+        assert tlb.occupancy() == sum(len(e) for e in self.entries)
+        for set_index in range(SETS):
+            key_map = tlb._key_maps[set_index]
+            model = self.entries[set_index]
+            assert set(key_map) == set(model)
+            for key, way in key_map.items():
+                entry = tlb.sets[set_index][way]
+                assert entry.valid and entry.key == key
+                record = model[key]
+                assert (entry.vpn, entry.pfn, entry.page_size) == (
+                    record.vpn, record.pfn, record.page_size,
+                )
+                assert entry.access_type is record.access_type
+
+    @invariant()
+    def check_stack_membership(self):
+        for set_index in range(SETS):
+            stack_ways = set(self.tlb.policy.stacks[set_index].order())
+            valid_ways = set(self.tlb._key_maps[set_index].values())
+            assert stack_ways == valid_ways
+
+    @invariant()
+    def check_stats_match_model(self):
+        stats = self.tlb.stats
+        assert stats.hits == self.hits
+        assert stats.misses == self.misses
+        assert stats.evictions == self.evictions
+        assert stats.accesses == self.hits + self.misses
+
+
+class OrderedTLBMachine(TLBProtocolMachine):
+    """Adds full recency-order replay (policies with deterministic orders)."""
+
+    @invariant()
+    def check_order_matches_model(self):
+        for set_index in range(SETS):
+            key_map = self.tlb._key_maps[set_index]
+            way_to_key = {way: key for key, way in key_map.items()}
+            stack_keys = [
+                way_to_key[way]
+                for way in self.tlb.policy.stacks[set_index].order()
+            ]
+            assert stack_keys == self.order[set_index]
+
+
+class LRUTLBMachine(OrderedTLBMachine):
+    replacement = "lru"
+
+    def _make_policy(self):
+        return TLBLRUPolicy(SETS, ASSOC)
+
+
+class ITPTLBMachine(OrderedTLBMachine):
+    """Figure 5 replayed rule-for-rule, including the Freq saturation edge."""
+
+    replacement = "itp"
+
+    def _make_policy(self):
+        return ITPPolicy(SETS, ASSOC, ITP)
+
+    def _model_on_insert(self, set_index, key, entry, access_type):
+        order = self.order[set_index]
+        if access_type is AccessType.INSTRUCTION:
+            entry.freq = 0
+            place_at_depth(order, key, ITP.insert_depth_n)
+        else:
+            place_above_lru(order, key, 0)
+
+    def _model_on_hit(self, set_index, key, entry, access_type):
+        order = self.order[set_index]
+        if access_type is AccessType.INSTRUCTION:
+            if entry.freq >= ITP.freq_max:
+                place_at_depth(order, key, 0)  # saturated: MRU is earned
+            else:
+                place_at_depth(order, key, ITP.insert_depth_n)
+                entry.freq += 1
+        else:
+            place_above_lru(order, key, ITP.data_promote_m)
+
+    @invariant()
+    def check_freq_matches_model(self):
+        for set_index in range(SETS):
+            for key, way in self.tlb._key_maps[set_index].items():
+                entry = self.tlb.sets[set_index][way]
+                model = self.entries[set_index][key]
+                assert entry.freq == model.freq
+                assert 0 <= entry.freq <= ITP.freq_max, "Freq left its 3-bit range"
+
+
+class CHiRPTLBMachine(TLBProtocolMachine):
+    """Confidence-table-driven order: structural invariants instead of replay.
+
+    The model's recency order is mirrored *from* the real stack after every
+    policy hook (CHiRP's insertion depth depends on its confidence table, so
+    replaying it would duplicate the implementation).  Victim selection is
+    still fully checked: CHiRP inherits plain-LRU eviction, so the mirrored
+    ``order[-1]`` must be exactly the entry the TLB evicts — residency and
+    statistics stay model-verified.
+    """
+
+    replacement = "chirp"
+
+    def _make_policy(self):
+        return CHiRPPolicy(SETS, ASSOC)
+
+    def _sync_order(self, set_index):
+        way_to_key = {
+            way: key for key, way in self.tlb._key_maps[set_index].items()
+        }
+        self.order[set_index] = [
+            way_to_key[way]
+            for way in self.tlb.policy.stacks[set_index].order()
+        ]
+
+    def _model_on_insert(self, set_index, key, entry, access_type):
+        self._sync_order(set_index)
+
+    def _model_on_hit(self, set_index, key, entry, access_type):
+        self._sync_order(set_index)
+
+    @rule(vpn=VPNS)
+    def observe_fetch_page(self, vpn):
+        self.tlb.policy.observe_fetch_page(vpn)
+
+    @invariant()
+    def check_confidence_table_bounds(self):
+        table = self.tlb.policy.table
+        assert all(0 <= conf <= CONF_MAX for conf in table)
+
+
+TestLRUTLBProtocol = LRUTLBMachine.TestCase
+TestITPTLBProtocol = ITPTLBMachine.TestCase
+TestCHiRPTLBProtocol = CHiRPTLBMachine.TestCase

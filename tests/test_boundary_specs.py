@@ -1,0 +1,183 @@
+"""Executable boundary specs for the paper's edge semantics.
+
+The stateful machines in ``tests/stateful/`` explore these rules under
+random interleavings; this module pins the *exact boundary values* as
+plain, named tests so the semantics are documented somewhere a reader (or
+a future vectorized reimplementation) can diff against:
+
+* xPTP step (c): an alternative victim exactly ``K`` positions above the
+  LRU end is still taken; one *more than* ``K`` above falls back to the
+  plain LRU victim (``src/repro/replacement/xptp.py``, Figure 6);
+* iTP: instruction translations insert at ``MRUpos − N`` with ``Freq = 0``
+  and only a *saturated* Freq counter earns the MRU position on a hit;
+  data translations insert at ``LRUpos`` and promote to ``LRUpos + M``
+  (``src/repro/tlb/policies/itp.py``, Figure 5).
+"""
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.mshr import MSHRFile
+from repro.common.params import CacheConfig, ITPConfig, TLBConfig
+from repro.common.stats import LevelStats
+from repro.common.types import AccessType, PageSize, RequestType
+from repro.replacement.xptp import XPTPPolicy
+from repro.tlb.policies.itp import ITPPolicy
+from repro.tlb.tlb import TLB
+
+from .helpers import StubMemory, line_addr, load, ptw
+
+DATA = AccessType.DATA
+INSTR = AccessType.INSTRUCTION
+
+
+class TestXPTPStepCBoundary:
+    """Figure 6 step (c): the K-positions-above-LRU cutoff is inclusive."""
+
+    def _protected_cache(self, k, assoc=4):
+        config = CacheConfig("SPEC", size_bytes=4 * assoc * 64,
+                             associativity=assoc, latency=1, mshr_entries=4)
+        return SetAssociativeCache(
+            config, XPTPPolicy(4, assoc, k=k), StubMemory(), LevelStats("SPEC")
+        )
+
+    def _setup_set(self, cache, data_pte_heights):
+        """Fill set 0 with 4 blocks; ``data_pte_heights`` marks which stack
+        heights above LRU (0 = LRU itself) hold data PTEs.  Blocks are filled
+        oldest-first, so the block filled at step ``h`` ends up ``h`` positions
+        above the LRU end — and its tag is chosen to equal that height.
+        """
+        for height in range(cache.associativity):
+            tag = height
+            if height in data_pte_heights:
+                cache.access(ptw(line_addr(0, tag, 4), DATA))
+            else:
+                cache.access(load(line_addr(0, tag, 4)))
+
+    def test_alternative_at_exactly_k_is_taken(self):
+        cache = self._protected_cache(k=2)
+        # Heights 0,1 hold data PTEs; the nearest alternative is at height 2.
+        self._setup_set(cache, data_pte_heights={0, 1})
+        cache.access(load(line_addr(0, 9, 4)))  # forces an eviction
+        assert cache.policy.protected_evictions_avoided == 1
+        assert cache.probe(line_addr(0, 0, 4))      # LRU data PTE protected
+        assert not cache.probe(line_addr(0, 2, 4))  # height-2 block evicted
+
+    def test_alternative_more_than_k_above_falls_back_to_lru(self):
+        cache = self._protected_cache(k=2)
+        # Heights 0..2 hold data PTEs; the nearest alternative is at height 3.
+        self._setup_set(cache, data_pte_heights={0, 1, 2})
+        cache.access(load(line_addr(0, 9, 4)))
+        assert cache.policy.protected_evictions_avoided == 0
+        assert not cache.probe(line_addr(0, 0, 4))  # LRU evicted after all
+        assert cache.probe(line_addr(0, 3, 4))      # alternative untouched
+
+    def test_all_data_pte_set_falls_back_to_lru(self):
+        cache = self._protected_cache(k=3)
+        self._setup_set(cache, data_pte_heights={0, 1, 2, 3})
+        cache.access(load(line_addr(0, 9, 4)))
+        assert cache.policy.protected_evictions_avoided == 0
+        assert not cache.probe(line_addr(0, 0, 4))
+
+    def test_disabled_policy_is_exact_lru(self):
+        cache = self._protected_cache(k=2)
+        self._setup_set(cache, data_pte_heights={0})
+        cache.policy.enabled = False
+        cache.access(load(line_addr(0, 9, 4)))
+        assert cache.policy.protected_evictions_avoided == 0
+        assert not cache.probe(line_addr(0, 0, 4))
+
+
+class TestITPBoundaries:
+    """Figure 5 edges: insertion depth, saturation, and data demotion."""
+
+    N, M = 1, 2
+    CONFIG = ITPConfig(insert_depth_n=N, data_promote_m=M)
+
+    def _tlb(self, assoc=4):
+        config = TLBConfig("SPEC", entries=assoc, associativity=assoc,
+                          latency=1, replacement="itp")
+        policy = ITPPolicy(1, assoc, self.CONFIG)
+        return TLB(config, policy, LevelStats("SPEC")), policy
+
+    def _order(self, tlb):
+        """MRU→LRU vpn order of the single set."""
+        way_to_vpn = {
+            way: tlb.sets[0][way].vpn for way in tlb._key_maps[0].values()
+        }
+        return [way_to_vpn[w] for w in tlb.policy.stacks[0].order()]
+
+    def _insert(self, tlb, vpn, access_type):
+        tlb.insert(vpn << 12, vpn, PageSize.SIZE_4K, access_type)
+
+    def test_instruction_inserts_at_depth_n_with_freq_zero(self):
+        tlb, _ = self._tlb()
+        for vpn in (0, 4, 8):  # one set: all vpns map to set 0
+            self._insert(tlb, vpn, DATA)
+        self._insert(tlb, 12, INSTR)
+        order = self._order(tlb)
+        assert order.index(12) == self.N
+        way = tlb._key_maps[0][12 << 1]
+        assert tlb.sets[0][way].freq == 0
+
+    def test_data_inserts_at_lru(self):
+        tlb, _ = self._tlb()
+        self._insert(tlb, 0, INSTR)
+        self._insert(tlb, 4, INSTR)
+        self._insert(tlb, 8, DATA)
+        assert self._order(tlb)[-1] == 8
+
+    def test_unsaturated_hit_promotes_to_depth_n_and_increments_freq(self):
+        tlb, _ = self._tlb()
+        for vpn in (0, 4, 8, 12):
+            self._insert(tlb, vpn, INSTR)
+        assert tlb.lookup(0 << 12, INSTR) is not None
+        order = self._order(tlb)
+        assert order.index(0) == self.N, "unsaturated hit must stop at MRUpos-N"
+        way = tlb._key_maps[0][0 << 1]
+        assert tlb.sets[0][way].freq == 1
+
+    def test_saturated_hit_earns_mru(self):
+        tlb, _ = self._tlb()
+        for vpn in (0, 4, 8, 12):
+            self._insert(tlb, vpn, INSTR)
+        way = tlb._key_maps[0][0 << 1]
+        freq_max = self.CONFIG.freq_max
+        for _ in range(freq_max):
+            tlb.lookup(0 << 12, INSTR)
+        assert tlb.sets[0][way].freq == freq_max
+        assert self._order(tlb).index(0) == self.N  # saturated, not yet moved
+        tlb.lookup(0 << 12, INSTR)  # first hit *after* saturation
+        assert self._order(tlb).index(0) == 0, "saturated Freq earns MRUpos"
+        assert tlb.sets[0][way].freq == freq_max, "Freq must not overflow 3 bits"
+
+    def test_data_hit_promotes_to_lru_plus_m(self):
+        tlb, _ = self._tlb()
+        for vpn in (0, 4, 8, 12):
+            self._insert(tlb, vpn, INSTR)
+        assert tlb.lookup(0 << 12, DATA) is not None
+        order = self._order(tlb)
+        height = len(order) - 1 - order.index(0)
+        assert height == self.M, "data hit must promote to LRUpos + M"
+
+    def test_victim_is_lru_regardless_of_type(self):
+        tlb, _ = self._tlb()
+        for vpn in (0, 4, 8, 12):
+            self._insert(tlb, vpn, INSTR)
+        lru_vpn = self._order(tlb)[-1]
+        self._insert(tlb, 16, DATA)
+        assert tlb.stats.evictions == 1
+        assert not tlb.probe(lru_vpn << 12)
+
+
+class TestMSHRRetirementSpec:
+    """The structural-hazard boundary: retirement is an early fill, not a drop."""
+
+    def test_full_file_retires_exactly_one_entry_per_overflow(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(1, RequestType.LOAD)
+        mshrs.allocate(2, RequestType.LOAD)
+        mshrs.allocate(3, RequestType.LOAD)
+        mshrs.allocate(4, RequestType.LOAD)
+        assert mshrs.full_events == 2
+        assert mshrs.retirements == 2
+        assert len(mshrs) == 2
+        assert mshrs.outstanding() == 4

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cache.mshr import MSHRFile
+from repro.cache.mshr import CheckedMSHRFile, MSHRFile
+from repro.common.invariants import InvariantViolation
 from repro.common.types import AccessType, RequestType
 
 
@@ -83,3 +84,91 @@ class TestStructuralHazard:
         mshrs.allocate(1, RequestType.LOAD)
         mshrs.allocate(2, RequestType.LOAD)
         assert mshrs.structural_penalty() == 5
+
+
+class TestStructuralRetirement:
+    """Minimized regressions from the MSHR protocol machine.
+
+    Structural retirement used to ``pop`` the oldest entry and drop it on
+    the floor, so the in-flight ``release`` of that block returned ``None``
+    and its Type bits never reached the cache block — Figure 7 step 3.1
+    silently disabled exactly when MSHR pressure was highest.
+    """
+
+    def test_retired_entry_release_preserves_type_bits(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(1, RequestType.PTW, True, AccessType.DATA)
+        mshrs.allocate(2, RequestType.LOAD)
+        mshrs.allocate(3, RequestType.LOAD)  # full: retires block 1
+        assert mshrs.full_events == 1
+        assert mshrs.retirements == 1
+        entry = mshrs.release(1)
+        assert entry is not None, "structural retirement dropped the entry"
+        assert entry.is_pte
+        assert entry.translation_type is AccessType.DATA
+
+    def test_retired_entries_count_as_outstanding_not_live(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(1, RequestType.LOAD)
+        mshrs.allocate(2, RequestType.LOAD)
+        mshrs.allocate(3, RequestType.LOAD)
+        assert len(mshrs) == 2          # capacity semantics unchanged
+        assert mshrs.outstanding() == 3  # but the retired miss is not gone
+        mshrs.release(1)
+        assert mshrs.outstanding() == 2
+
+    def test_reallocation_folds_retired_type_bits(self):
+        # Two misses to one block are one outstanding miss: if the first was
+        # retired as a data PTE, the re-allocated entry must carry the mark.
+        mshrs = MSHRFile(1)
+        mshrs.allocate(1, RequestType.PTW, True, AccessType.DATA)
+        mshrs.allocate(2, RequestType.LOAD)   # retires block 1
+        mshrs.allocate(1, RequestType.LOAD)   # retires block 2, re-allocates 1
+        entry = mshrs.release(1)
+        assert entry.is_pte
+        assert entry.translation_type is AccessType.DATA
+        assert mshrs.outstanding() == 1       # block 2 still awaits release
+
+    def test_lookup_misses_retired_entries(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(1, RequestType.LOAD)
+        mshrs.allocate(2, RequestType.LOAD)
+        mshrs.allocate(3, RequestType.LOAD)
+        assert mshrs.lookup(1) is None  # retired: no longer a mergeable miss
+
+
+class TestCheckedShadow:
+    """The shadow oracle must span retired entries and never desynchronize."""
+
+    def test_shadow_stays_synchronized_through_retirement(self):
+        mshrs = CheckedMSHRFile(2)
+        mshrs.allocate(1, RequestType.PTW, True, AccessType.DATA)
+        mshrs.allocate(2, RequestType.LOAD)
+        mshrs.allocate(3, RequestType.LOAD)  # retires block 1
+        mshrs.verify_shadow_sync()
+        assert mshrs.release(1).translation_type is AccessType.DATA
+        mshrs.verify_shadow_sync()
+        mshrs.release(2)
+        mshrs.release(3)
+        mshrs.verify_shadow_sync()
+        assert mshrs.outstanding() == 0
+
+    def test_release_of_unknown_block_keeps_shadow_synchronized(self):
+        mshrs = CheckedMSHRFile(2)
+        mshrs.allocate(1, RequestType.LOAD)
+        assert mshrs.release(99) is None
+        mshrs.verify_shadow_sync()
+
+    def test_shadow_detects_corrupted_bits(self):
+        mshrs = CheckedMSHRFile(2)
+        entry = mshrs.allocate(1, RequestType.PTW, True, AccessType.DATA)
+        entry.translation_type = AccessType.INSTRUCTION  # simulated corruption
+        with pytest.raises(InvariantViolation):
+            mshrs.release(1)
+
+    def test_desynchronized_shadow_is_reported(self):
+        mshrs = CheckedMSHRFile(2)
+        mshrs.allocate(1, RequestType.LOAD)
+        mshrs._shadow.pop(1)  # simulated bookkeeping bug
+        with pytest.raises(InvariantViolation):
+            mshrs.verify_shadow_sync()

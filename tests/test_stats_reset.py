@@ -10,7 +10,7 @@ from dataclasses import replace
 from repro.cache.mshr import MSHRFile
 from repro.common.params import scaled_config
 from repro.common.stats import LevelStats
-from repro.common.types import RequestType
+from repro.common.types import AccessType, RequestType
 from repro.core.simulator import simulate
 from repro.mem.dram import DRAM
 from repro.workloads.server import ServerWorkload
@@ -32,6 +32,28 @@ class TestMSHRReset:
         # Outstanding entries are state, not statistics.
         assert len(mshrs) == 2
         assert mshrs.lookup(0xC0) is not None
+
+    def test_leak_on_reset_clears_retirements_but_keeps_retired_buffer(self):
+        """synapse32 leak-on-reset regression (found by the MSHR machine).
+
+        ``retirements`` is a statistic and must clear at the boundary; the
+        retirement *buffer* is outstanding state and must survive it — a
+        reset between retirement and release must not cost the in-flight
+        fill its Type bits.
+        """
+        mshrs = MSHRFile(1)
+        mshrs.allocate(0x40, RequestType.PTW, is_pte=True,
+                       translation_type=AccessType.DATA)
+        mshrs.allocate(0x80, RequestType.LOAD)   # retires 0x40
+        assert mshrs.retirements == 1
+
+        mshrs.reset_stats()
+        assert mshrs.retirements == 0
+        assert mshrs.outstanding() == 2          # retired entry survived
+        entry = mshrs.release(0x40)
+        assert entry is not None
+        assert entry.is_pte
+        assert entry.translation_type is AccessType.DATA
 
 
 class TestDRAMRowCounterReset:
@@ -96,5 +118,6 @@ class TestWarmupBoundary:
         cfg = scaled_config().with_policies(stlb="itp", l2c="xptp")
         result = run(cfg, 2_000, 8_000)
         for key in ("xptp.protected_evictions_avoided", "l1i.mshr_allocations",
-                    "l1d.mshr_merges", "llc.mshr_full_events"):
+                    "l1d.mshr_merges", "llc.mshr_full_events",
+                    "llc.mshr_retirements"):
             assert key in result.metrics
