@@ -9,6 +9,10 @@ Examples::
     PYTHONPATH=src python -m repro.bench \
         --techniques lru itp+xptp --workloads 1 --measure-records 6000 \
         --baseline benchmarks/hotpath_baseline.json --min-ratio 0.7
+
+    # Engine matrix: time both engines, gate the batched kernel's speedup
+    PYTHONPATH=src python -m repro.bench \
+        --engines spec batched --min-speedup 1.05
 """
 
 from __future__ import annotations
@@ -16,10 +20,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..kernel import DEFAULT_ENGINE, ENGINES
 from . import (
     DEFAULT_MEASURE_RECORDS,
     DEFAULT_TECHNIQUES,
     DEFAULT_WARMUP_RECORDS,
+    compare_engines,
     compare_to_baseline,
     load_report,
     run_bench,
@@ -35,6 +41,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--techniques", nargs="+", default=list(DEFAULT_TECHNIQUES),
         help="Table 2 technique names to benchmark",
+    )
+    parser.add_argument(
+        "--engines", nargs="+", default=[DEFAULT_ENGINE], choices=ENGINES,
+        metavar="ENGINE",
+        help=f"execution engines to time ({', '.join(ENGINES)}); the first "
+             "one listed defines the top-level aggregate",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="fail unless batched records/sec geomean is at least X times "
+             "the spec geomean (requires --engines spec batched)",
     )
     parser.add_argument(
         "--workloads", type=int, default=2, metavar="N",
@@ -76,9 +93,25 @@ def main(argv=None) -> int:
         measure_records=args.measure_records,
         repeats=args.repeats,
         verbose=not args.quiet,
+        engines=args.engines,
     )
 
     status = 0
+    if args.min_speedup is not None:
+        summary = compare_engines(report, args.min_speedup)
+        report["engine_comparison"] = summary
+        print(
+            f"engine speedup: {summary['speedup']:.2f}x "
+            f"(batched {summary['batched_records_per_sec']:.0f} rec/s vs "
+            f"spec {summary['spec_records_per_sec']:.0f} rec/s, "
+            f"floor {summary['min_speedup']:.2f}x)"
+        )
+        if not summary["ok"]:
+            print(
+                "FAIL: batched engine speedup below the allowed floor",
+                file=sys.stderr,
+            )
+            status = 1
     if args.baseline:
         summary = compare_to_baseline(
             report, load_report(args.baseline), args.min_ratio

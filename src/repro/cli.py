@@ -33,6 +33,7 @@ from .experiments.parallel import (
 )
 from .experiments.reporting import format_table
 from .experiments.runner import MEASURE, POLICY_MATRIX, WARMUP, config_for
+from .kernel import ENGINES, resolve_engine
 from .topology.presets import PRESET_NAMES, resolve_topology
 from .topology.spec import TopologyError
 from .workloads.phased import PhasedWorkload
@@ -97,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine graph preset (default: the Table 1 hierarchy); "
              f"one of: {', '.join(PRESET_NAMES)}",
     )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="execution engine (default: REPRO_ENGINE, then 'spec'); both "
+             "engines produce bit-identical statistics",
+    )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--warmup", type=int, default=WARMUP)
     parser.add_argument("--measure", type=int, default=MEASURE)
@@ -150,6 +156,13 @@ def main(argv: List[str] = None) -> int:
         return 2
 
     try:
+        # Argparse restricts --engine; this catches a bad REPRO_ENGINE value.
+        resolve_engine(args.engine)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    try:
         spec = resolve_topology(args.topology, scaled_config())
     except TopologyError as exc:
         print(str(exc), file=sys.stderr)
@@ -185,7 +198,7 @@ def main(argv: List[str] = None) -> int:
     try:
         results = runner.run(
             SimJob(config_for(t), workloads, args.warmup, args.measure,
-                   label=t, topology=args.topology)
+                   label=t, topology=args.topology, engine=args.engine)
             for t in args.techniques
         )
     except MatrixError as exc:

@@ -24,6 +24,7 @@ from ..common.stats import SimStats
 from ..common.types import PageSize
 from ..core.cpu import Core, THREAD_TAG_SHIFT
 from ..core.simulator import SimulationResult
+from ..kernel import resolve_engine
 from ..topology.builder import BuiltCore, build
 from ..topology.presets import multicore, resolve_topology
 from ..topology.spec import TopologySpec
@@ -108,13 +109,18 @@ def simulate_multicore(
     measure_instructions: int = 200_000,
     config_label: str = "",
     topology: Union[None, str, TopologySpec] = None,
+    engine: Union[None, str] = None,
 ) -> SimulationResult:
     """Run one workload per core; throughput = total instructions / slowest core.
 
     Cores advance in lock-step rounds of one fetch group each; per-core
     cycles accumulate independently while all shared-state contention
     (LLC capacity, DRAM bandwidth) plays out through the shared objects.
+    ``engine`` is accepted for interface symmetry and validated, but the
+    lock-step round-robin always runs the scalar spec path (the batched
+    kernel drives a single stream; see :mod:`repro.kernel`).
     """
+    resolve_engine(engine)
     system = MulticoreSystem(config, workloads, topology=topology)
     streams = [wl.record_stream() for wl in workloads]
     stats = system.stats

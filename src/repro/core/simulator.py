@@ -24,6 +24,7 @@ from typing import Union
 from ..common.params import SystemConfig
 from ..common.stats import SimStats
 from ..common.types import PageSize
+from ..kernel import BatchedEngine, resolve_engine
 from ..topology.spec import TopologySpec
 from ..workloads.base import SyntheticWorkload
 from .cpu import Core, THREAD_TAG_SHIFT
@@ -110,12 +111,27 @@ def simulate(
     measure_instructions: int = DEFAULT_MEASURE,
     config_label: str = "",
     topology: Union[None, str, TopologySpec] = None,
+    engine: Union[None, str] = None,
 ) -> SimulationResult:
-    """Run one workload on one hardware thread."""
+    """Run one workload on one hardware thread.
+
+    ``engine`` selects the execution engine (``spec`` or ``batched``; see
+    :mod:`repro.kernel`); ``None`` defers to ``REPRO_ENGINE`` then the
+    default.  Both engines produce bit-identical statistics.
+    """
     system = System(config, workload.size_policy, topology=topology)
     core = Core(system, thread_id=0)
     stream = workload.record_stream()
     stats = system.stats
+
+    if resolve_engine(engine) == "batched":
+        kernel = BatchedEngine(system, core, stream)
+        kernel.run_until(warmup_instructions)
+        system.reset_stats()
+        stats.cycles = kernel.run_until(measure_instructions)
+        _export_adaptive(system, stats)
+        _export_structures(system, stats)
+        return SimulationResult(workload.name, config_label, stats)
 
     while stats.instructions < warmup_instructions:
         core.execute(next(stream))
@@ -138,12 +154,17 @@ def simulate_smt(
     config_label: str = "",
     overlap_residual: float = 0.25,
     topology: Union[None, str, TopologySpec] = None,
+    engine: Union[None, str] = None,
 ) -> SimulationResult:
     """Co-locate two workloads on an SMT core with shared structures.
 
     ``overlap_residual`` is the fraction of the shorter thread's record
     cost that still contributes to elapsed cycles (shared issue bandwidth).
+    ``engine`` is accepted for interface symmetry and validated, but SMT
+    always runs the scalar spec path: the round-robin step interleaves two
+    streams record-by-record, which the block-batched kernel does not model.
     """
+    resolve_engine(engine)
     if len(workloads) != 2:
         raise ValueError("SMT simulation takes exactly two workloads")
     system = System(config, _tagged_size_policy(workloads), topology=topology)

@@ -24,6 +24,7 @@ import os
 import sys
 import time
 
+from ..kernel import resolve_engine
 from . import (
     ablation_adaptive,
     ablation_params,
@@ -133,6 +134,12 @@ def main(argv) -> int:
             workers = os.cpu_count() or 1
         elif not (workers.isdigit() or workers == "auto"):
             raise _OptionError(f"--workers takes a count or 'auto', got {workers!r}")
+        try:
+            # Jobs resolve their engine lazily; a bad REPRO_ENGINE value
+            # should fail here with a usage error, not mid-matrix.
+            resolve_engine(None)
+        except ValueError as exc:
+            raise _OptionError(str(exc)) from None
     except _OptionError as exc:
         print(str(exc), file=sys.stderr)
         return 2

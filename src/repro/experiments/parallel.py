@@ -65,6 +65,7 @@ from ..core.multicore import simulate_multicore
 from ..core.simulator import SimulationResult, simulate, simulate_smt
 from ..faults import inject as fault_inject
 from ..faults import plan as fault_plans
+from ..kernel import resolve_engine
 from ..topology.presets import resolve_topology
 from ..topology.spec import TopologySpec
 from ..workloads.base import SyntheticWorkload
@@ -73,7 +74,9 @@ from ..workloads.base import SyntheticWorkload
 #: change that job descriptions cannot see).  4: checksummed entry format.
 #: 5: MSHR structural retirement preserves Type bits (and exports
 #: ``*.mshr_retirements``), so cells simulated before the fix are stale.
-CACHE_VERSION = 5
+#: 6: jobs carry an execution engine; pre-engine entries predate the
+#: ``engine=`` key part and must not be served for either engine.
+CACHE_VERSION = 6
 
 #: Failure policies: fail-fast preserves the historical behaviour (first
 #: failed cell raises :class:`SimulationError` and cancels the backlog);
@@ -106,6 +109,9 @@ class SimJob:
     Table 1 hierarchy, a preset name (``"split-stlb"``, ``"multicore-2"``,
     ...) or a full :class:`TopologySpec`.  A multi-core topology dispatches
     to :func:`simulate_multicore` and takes one workload per core.
+    ``engine`` selects the execution engine (:mod:`repro.kernel`): ``None``
+    defers to ``REPRO_ENGINE`` then the default, so the choice resolves on
+    the executing worker and is pinned into the cache key.
     """
 
     config: SystemConfig
@@ -114,10 +120,12 @@ class SimJob:
     measure: int
     label: str = ""
     topology: Union[None, str, TopologySpec] = None
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.workloads:
             raise ValueError("SimJob needs at least one workload")
+        resolve_engine(self.engine)  # validate eagerly, at job-build time
         if self.topology is None and len(self.workloads) > 2:
             raise ValueError("SimJob takes one workload (1T) or two (SMT)")
 
@@ -142,9 +150,10 @@ def single(
     measure: int,
     label: str = "",
     topology: Union[None, str, TopologySpec] = None,
+    engine: Optional[str] = None,
 ) -> SimJob:
     """Convenience constructor for a single-thread job."""
-    return SimJob(config, (workload,), warmup, measure, label, topology)
+    return SimJob(config, (workload,), warmup, measure, label, topology, engine)
 
 
 def smt(
@@ -154,9 +163,10 @@ def smt(
     measure: int,
     label: str = "",
     topology: Union[None, str, TopologySpec] = None,
+    engine: Optional[str] = None,
 ) -> SimJob:
     """Convenience constructor for a two-thread SMT job."""
-    return SimJob(config, tuple(workloads), warmup, measure, label, topology)
+    return SimJob(config, tuple(workloads), warmup, measure, label, topology, engine)
 
 
 # --------------------------------------------------------------------- #
@@ -184,13 +194,18 @@ def job_key(job: SimJob) -> str:
     every field, so it serves as a canonical config hash input.  The
     topology is always resolved to a spec and keyed by its content hash —
     so a preset name and the equivalent explicit spec share cache entries,
-    while jobs differing only in machine graph never collide.
+    while jobs differing only in machine graph never collide.  The engine
+    is keyed *resolved* (both engines are bit-identical, but separate keys
+    keep a per-engine provenance trail and make cross-engine cache hits an
+    explicit non-goal); a job deferring to ``REPRO_ENGINE`` therefore maps
+    to the same entry as one pinning that engine explicitly.
     """
     parts = [
         f"cache-version={CACHE_VERSION}",
         f"label={job.label}",
         f"warmup={job.warmup}",
         f"measure={job.measure}",
+        f"engine={resolve_engine(job.engine)}",
         f"config={job.config!r}",
         f"topology={job.resolved_topology().content_hash()}",
     ]
@@ -470,17 +485,17 @@ def _execute(
         if topology is not None and topology.num_cores > 1:
             result = simulate_multicore(
                 job.config, list(job.workloads), job.warmup, job.measure,
-                config_label=job.label, topology=topology,
+                config_label=job.label, topology=topology, engine=job.engine,
             )
         elif len(job.workloads) == 1:
             result = simulate(
                 job.config, job.workloads[0], job.warmup, job.measure,
-                config_label=job.label, topology=topology,
+                config_label=job.label, topology=topology, engine=job.engine,
             )
         else:
             result = simulate_smt(
                 job.config, list(job.workloads), job.warmup, job.measure,
-                config_label=job.label, topology=topology,
+                config_label=job.label, topology=topology, engine=job.engine,
             )
     return result, time.perf_counter() - start
 

@@ -1,0 +1,53 @@
+"""Execution engines: how trace records are driven through the machine.
+
+Two engines produce bit-identical :class:`~repro.common.stats.SimStats`:
+
+* ``spec`` — the scalar reference path (``Core.execute`` per record), the
+  executable specification and the default;
+* ``batched`` — the block-batched kernel in :mod:`repro.kernel.batched`:
+  records are pulled in blocks, derived indices are precomputed as flat
+  arrays, and records that fully hit in the L1 TLBs and L1 caches are
+  resolved on an allocation-free fast path with deferred (bulk-applied)
+  recency bumps.  Every record with any other behaviour falls back to the
+  scalar machinery, so all policy semantics stay in exactly one place.
+
+Select an engine per call (``engine=`` on the simulation drivers, ``--engine``
+on the CLIs) or process-wide with the ``REPRO_ENGINE`` environment variable;
+an explicit argument wins over the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .batched import DEFAULT_BLOCK_RECORDS, BatchedEngine
+
+#: Environment variable naming the default engine for this process.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Available engine names; ``spec`` is the executable specification.
+ENGINES = ("spec", "batched")
+
+DEFAULT_ENGINE = "spec"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve an engine name: explicit argument > ``REPRO_ENGINE`` > spec."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, "").strip().lower() or DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {', '.join(ENGINES)}"
+        )
+    return engine
+
+
+__all__ = [
+    "BatchedEngine",
+    "DEFAULT_BLOCK_RECORDS",
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV",
+    "ENGINES",
+    "resolve_engine",
+]

@@ -44,13 +44,16 @@ HOT_FUNCTIONS: Dict[str, FrozenSet[str]] = {
     "common/recency.py": frozenset(
         {
             "RecencyStack.touch",
+            "RecencyStack.touch_many",
             "RecencyStack.remove",
             "RecencyStack.discard",
             "RecencyStack.place_at_depth",
             "RecencyStack.place_above_lru",
             "RecencyStack.ways_from_lru",
+            "bulk_touch",
         }
     ),
+    "kernel/batched.py": frozenset({"BatchedEngine._run_block"}),
     "common/stats.py": frozenset({"categorize"}),
     "ptw/walker.py": frozenset({"PageTableWalker.walk"}),
     "mem/dram.py": frozenset({"DRAM.access"}),
@@ -69,6 +72,7 @@ HOT_CLASSES: FrozenSet[str] = frozenset(
         "NaiveRecencyStack",
         "MSHREntry",
         "TranslationResult",
+        "BatchedEngine",
     }
 )
 
@@ -86,6 +90,7 @@ HOT_MODULE_PREFIXES = (
     "core/",
     "mem/",
     "replacement/",
+    "kernel/",
 )
 
 #: Classes owning statistics counters outside LevelStats/SimStats; RPR004
@@ -99,6 +104,7 @@ STATS_BEARING: FrozenSet[str] = frozenset(
         "XPTPPolicy",
         "AdaptiveXPTPController",
         "MMU",
+        "BatchedEngine",
     }
 )
 

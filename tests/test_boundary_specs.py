@@ -181,3 +181,50 @@ class TestMSHRRetirementSpec:
         assert mshrs.retirements == 2
         assert len(mshrs) == 2
         assert mshrs.outstanding() == 4
+
+
+class TestWarmupBoundaryMidBatch:
+    """The warmup/measurement boundary must split a batched block exactly.
+
+    The batched kernel (:mod:`repro.kernel.batched`) pulls records in
+    blocks; an odd warmup budget lands the ``reset_stats`` boundary in the
+    middle of a block, so the kernel must stop on the precise record the
+    scalar spec stops on — every counter that survives or resets at the
+    boundary (MSHR retirements, DRAM row-buffer events, xPTP protection)
+    would drift otherwise.  A row-buffer DRAM also disables the kernel's
+    inline-prefetch gate, forcing issuing records through the scalar
+    fallback mid-block, which is exactly the path that once dropped
+    in-flight Type bits (see the MSHR retirement fix in the git history).
+    """
+
+    WARMUP = 7_777  # deliberately odd: never a block-size multiple
+    MEASURE = 24_000
+
+    def _run(self, engine):
+        from dataclasses import replace
+
+        from repro.core.simulator import simulate
+        from repro.experiments.runner import config_for
+        from repro.workloads.server import ServerWorkload
+
+        config = replace(
+            config_for("itp+xptp"),
+            dram=replace(config_for("itp+xptp").dram, row_buffer=True, banks=2),
+        )
+        workload = ServerWorkload("boundary", 13)
+        return simulate(config, workload, self.WARMUP, self.MEASURE,
+                        engine=engine)
+
+    def test_all_counters_match_across_the_boundary(self):
+        spec_result = self._run("spec")
+        batched_result = self._run("batched")
+        assert batched_result.stats.cycles == spec_result.stats.cycles
+        assert batched_result.metrics == spec_result.metrics
+
+    def test_boundary_sensitive_counters_are_present(self):
+        metrics = self._run("batched").metrics
+        for key in ("l1i.mshr_retirements", "l1d.mshr_retirements",
+                    "l2c.mshr_retirements", "llc.mshr_retirements",
+                    "dram.row_hits", "dram.row_misses",
+                    "xptp.protected_evictions_avoided"):
+            assert key in metrics, f"missing boundary-sensitive counter {key}"

@@ -12,6 +12,12 @@ Usage::
     python tools/profile_hotpath.py --technique itp+xptp --records 30000
     python tools/profile_hotpath.py --sort tottime --limit 40
     python tools/profile_hotpath.py --output hotpath.pstats  # for snakeviz etc.
+    python tools/profile_hotpath.py --engine batched       # profile the kernel
+
+With ``--engine batched`` the run also reports the kernel's fast-path
+coverage (the fraction of records retired without falling back to the
+scalar spec path) — the first thing to check when the batched engine's
+speedup drops.
 
 No PYTHONPATH needed: the script adds the repo's ``src/`` itself.
 """
@@ -31,6 +37,7 @@ from repro.bench import DEFAULT_WARMUP_RECORDS  # noqa: E402
 from repro.core.cpu import Core  # noqa: E402
 from repro.core.system import System  # noqa: E402
 from repro.experiments.runner import POLICY_MATRIX, config_for  # noqa: E402
+from repro.kernel import DEFAULT_ENGINE, ENGINES, BatchedEngine  # noqa: E402
 from repro.workloads.server import server_suite  # noqa: E402
 
 
@@ -39,6 +46,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--technique", default="itp+xptp", choices=sorted(POLICY_MATRIX),
         help="Table 2 technique to profile (default itp+xptp)",
+    )
+    parser.add_argument(
+        "--engine", default=DEFAULT_ENGINE, choices=ENGINES,
+        help="execution engine to profile (default spec)",
     )
     parser.add_argument(
         "--records", type=int, default=20_000,
@@ -67,20 +78,36 @@ def main(argv=None) -> int:
     core = Core(system, thread_id=0)
     stream = workload.record_stream()
 
-    for _ in range(args.warmup_records):
-        core.execute(next(stream))
-    system.reset_stats()
-
     profiler = cProfile.Profile()
-    execute = core.execute
-    advance = stream.__next__
-    profiler.enable()
-    for _ in range(args.records):
-        execute(advance())
-    profiler.disable()
+    kernel = None
+    if args.engine == "batched":
+        kernel = BatchedEngine(system, core, stream)
+        kernel.run_records(args.warmup_records)
+        system.reset_stats()
+        kernel.reset_stats()
+        profiler.enable()
+        kernel.run_records(args.records)
+        profiler.disable()
+    else:
+        for _ in range(args.warmup_records):
+            core.execute(next(stream))
+        system.reset_stats()
+        execute = core.execute
+        advance = stream.__next__
+        profiler.enable()
+        for _ in range(args.records):
+            execute(advance())
+        profiler.disable()
 
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.limit)
+    if kernel is not None:
+        print(
+            f"fast-path coverage: {kernel.fast_path_coverage:.1%} "
+            f"({kernel.fast_records} fast / {kernel.issue_records} issuing / "
+            f"{kernel.total_records - kernel.fast_records - kernel.issue_records}"
+            f" scalar of {kernel.total_records} records)"
+        )
     if args.output:
         stats.dump_stats(args.output)
         print(f"wrote {args.output}")
