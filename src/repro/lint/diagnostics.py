@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 
 @dataclass(frozen=True)
@@ -15,18 +15,27 @@ class Diagnostic:
     line: int  #: 1-based line the finding anchors to.
     code: str  #: Rule code, e.g. ``RPR001``.
     message: str
+    col: int = 1  #: 1-based column of the finding.
+    end_line: Optional[int] = None  #: Last line of the finding, if known.
+
+    @property
+    def span_end(self) -> int:
+        return self.end_line if self.end_line is not None else self.line
 
     def sort_key(self) -> tuple:
-        return (self.path, self.line, self.code, self.message)
+        return (self.path, self.line, self.col, self.code, self.message)
 
 
 def format_text(diag: Diagnostic) -> str:
-    return f"{diag.path}:{diag.line}: {diag.code} {diag.message}"
+    return f"{diag.path}:{diag.line}:{diag.col}: {diag.code} {diag.message}"
 
 
 def format_github(diag: Diagnostic) -> str:
     """GitHub Actions workflow-command annotation (shows inline on the PR)."""
-    return f"::error file={diag.path},line={diag.line},title={diag.code}::{diag.message}"
+    return (
+        f"::error file={diag.path},line={diag.line},endLine={diag.span_end},"
+        f"col={diag.col},title={diag.code}::{diag.message}"
+    )
 
 
 _FORMATTERS = {"text": format_text, "github": format_github}

@@ -7,10 +7,13 @@ from typing import List
 from .allocations import AllocationRule
 from .base import Rule
 from .construction import TopologyConstructionRule
+from .effects_parity import EffectParityRule
 from .enumcmp import EnumComparisonRule
+from .manifest_liveness import ManifestLivenessRule
 from .params import ParamsImmutabilityRule
 from .slots import SlotsRule
 from .stats_reset import StatsResetRule
+from .worker_safety import WorkerSafetyRule
 
 
 def all_rules() -> List[Rule]:
@@ -22,16 +25,22 @@ def all_rules() -> List[Rule]:
         StatsResetRule(),
         ParamsImmutabilityRule(),
         TopologyConstructionRule(),
+        EffectParityRule(),
+        WorkerSafetyRule(),
+        ManifestLivenessRule(),
     ]
 
 
 __all__ = [
     "AllocationRule",
+    "EffectParityRule",
     "EnumComparisonRule",
+    "ManifestLivenessRule",
     "ParamsImmutabilityRule",
     "Rule",
     "SlotsRule",
     "StatsResetRule",
     "TopologyConstructionRule",
+    "WorkerSafetyRule",
     "all_rules",
 ]

@@ -18,8 +18,22 @@ class Rule:
     def check(self, files: Sequence[FileContext]) -> Iterator[Diagnostic]:
         raise NotImplementedError
 
-    def diag(self, ctx: FileContext, line: int, message: str) -> Diagnostic:
-        return Diagnostic(ctx.path, ctx.relkey, line, self.code, message)
+    def diag(
+        self,
+        ctx: FileContext,
+        line: int,
+        message: str,
+        node: Optional[ast.AST] = None,
+    ) -> Diagnostic:
+        """Build a diagnostic; ``node`` supplies column/end-line spans."""
+        col = 1
+        end_line: Optional[int] = None
+        if node is not None:
+            col = getattr(node, "col_offset", 0) + 1
+            end_line = getattr(node, "end_lineno", None)
+        return Diagnostic(
+            ctx.path, ctx.relkey, line, self.code, message, col, end_line
+        )
 
 
 def attribute_chain(node: ast.expr) -> Optional[List[str]]:

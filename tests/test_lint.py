@@ -301,9 +301,11 @@ class TestRunnerAndCLI:
     def test_render_text_and_github(self):
         diags = lint_sources({"cache/line.py": "class CacheLine:\n    pass\n"})
         (text,) = render(diags, "text")
-        assert text.startswith("cache/line.py:1: RPR002")
+        assert text.startswith("cache/line.py:1:")
+        assert " RPR002 " in text
         (gh,) = render(diags, "github")
-        assert gh.startswith("::error file=cache/line.py,line=1,title=RPR002::")
+        assert gh.startswith("::error file=cache/line.py,line=1,")
+        assert "endLine=" in gh and "col=" in gh and "title=RPR002::" in gh
 
     def test_cli_clean_tree_exits_zero(self, capsys):
         assert main([str(REPRO_ROOT)]) == 0
@@ -320,7 +322,17 @@ class TestRunnerAndCLI:
     def test_cli_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+        for code in (
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+            "RPR006",
+            "RPR007",
+            "RPR008",
+            "RPR009",
+        ):
             assert code in out
 
 
