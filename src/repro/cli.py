@@ -24,7 +24,7 @@ from typing import List
 
 from .common.energy import energy_report
 from .common.params import SystemConfig, scaled_config
-from .experiments.parallel import (
+from .fabric import (
     FAILURE_POLICIES,
     ConfigurationError,
     MatrixError,

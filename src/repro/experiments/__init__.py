@@ -25,7 +25,7 @@ from . import (
     fig13_large_pages,
     fig14_split_stlb,
 )
-from .parallel import (
+from ..fabric import (
     CONTINUE,
     FAIL_FAST,
     CellReport,
@@ -40,6 +40,7 @@ from .parallel import (
     configure_default_runner,
     get_default_runner,
     job_key,
+    run_iter,
     run_jobs,
     set_default_runner,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "configure_default_runner",
     "get_default_runner",
     "job_key",
+    "run_iter",
     "run_jobs",
     "set_default_runner",
     "fig01_itlb_cost",

@@ -42,7 +42,7 @@ from . import (
     fig14_split_stlb,
 )
 from .export import write_csv
-from .parallel import (
+from ..fabric import (
     FAILURE_POLICIES,
     ConfigurationError,
     MatrixError,

@@ -17,27 +17,25 @@ from typing import Optional, Sequence
 
 from ..common.params import AdaptiveConfig, scaled_config
 from ..workloads.phased import PhasedWorkload
-from .parallel import ParallelRunner, SimJob, run_jobs
+from ..fabric import ParallelRunner, SimJob, run_jobs
 from .reporting import FigureResult
 from .runner import WARMUP
 
 T1_VALUES = (0, 1, 2, 4)
 
 
-def run(
+def build_jobs(
     t1_values: Sequence[int] = T1_VALUES,
     warmup: int = WARMUP,
     measure: int = 300_000,
     phase_records: int = 12_000,
-    runner: Optional[ParallelRunner] = None,
     topology: Optional[str] = None,
-) -> FigureResult:
-    result = FigureResult(
-        figure="Ablation adaptive",
-        description="Adaptive xPTP/LRU switch on a phase-alternating workload",
-        headers=["scheme", "ipc_improvement_pct", "windows_xptp_enabled_pct"],
-        notes=["expected: adaptive >= always-on; T1 extremes degrade"],
-    )
+) -> list:
+    """The ablation's job matrix, without running it.
+
+    Exposed so harnesses (the CI fabric-smoke, overlap tests) can submit
+    the same matrix several times and exercise cross-submission dedup.
+    """
     wl = PhasedWorkload("phased", seed=7, phase_records=phase_records)
     base = scaled_config()
     always_on = replace(
@@ -54,7 +52,27 @@ def run(
             adaptive=AdaptiveConfig(enabled=True, t1_misses=t1),
         )
         jobs.append(SimJob(cfg, (wl,), warmup, measure, topology=topology, label=f"adaptive T1={t1}"))
+    return jobs
 
+
+def run(
+    t1_values: Sequence[int] = T1_VALUES,
+    warmup: int = WARMUP,
+    measure: int = 300_000,
+    phase_records: int = 12_000,
+    runner: Optional[ParallelRunner] = None,
+    topology: Optional[str] = None,
+) -> FigureResult:
+    result = FigureResult(
+        figure="Ablation adaptive",
+        description="Adaptive xPTP/LRU switch on a phase-alternating workload",
+        headers=["scheme", "ipc_improvement_pct", "windows_xptp_enabled_pct"],
+        notes=["expected: adaptive >= always-on; T1 extremes degrade"],
+    )
+    jobs = build_jobs(
+        t1_values, warmup=warmup, measure=measure,
+        phase_records=phase_records, topology=topology,
+    )
     results = run_jobs(jobs, runner)
     baseline = results[0].ipc
     result.add_row("always-on", 100.0 * (results[1].ipc / baseline - 1.0), 100.0)

@@ -12,7 +12,7 @@ from typing import Optional, Sequence
 
 from ..common.params import scaled_config
 from ..workloads.server import server_suite
-from .parallel import ParallelRunner, SimJob, run_jobs
+from ..fabric import ParallelRunner, SimJob, run_jobs
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP, geomean
 

@@ -13,7 +13,7 @@ from typing import Optional
 from ..common.params import scaled_config
 from ..workloads.server import server_suite
 from ..workloads.speclike import spec_suite
-from .parallel import ParallelRunner, SimJob, run_jobs
+from ..fabric import ParallelRunner, SimJob, run_jobs
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP
 

@@ -12,7 +12,7 @@ from typing import Optional, Sequence
 
 from ..workloads.mixes import smt_mixes
 from ..workloads.server import server_suite
-from .parallel import ParallelRunner
+from ..fabric import ParallelRunner
 from .reporting import FigureResult
 from .runner import MEASURE, WARMUP, compare_single_thread, compare_smt
 

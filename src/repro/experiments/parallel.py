@@ -1,1004 +1,98 @@
-"""Parallel experiment execution.
+"""Backward-compatible facade over :mod:`repro.fabric`.
 
-Every figure driver ultimately runs a matrix of independent simulations —
-``simulate()`` builds a fresh :class:`repro.core.system.System` per call and
-shares no state between cells — so the matrix fans out over a
-:class:`concurrent.futures.ProcessPoolExecutor` trivially.  This module
-provides the machinery:
-
-* :class:`SimJob` — one simulation cell: a configuration, an optional
-  topology (preset name or :class:`TopologySpec`), one workload (or two
-  for SMT, or one per core for a multicore topology), the warmup/measure
-  windows and a technique label;
-* :class:`ParallelRunner` — executes a job list with ``workers`` processes,
-  returning results in job order regardless of completion order.
-  ``workers=1`` runs serially in-process (no pool, bit-identical to the
-  pre-parallel code path — CI uses it for determinism checks);
-* **fault tolerance** — a failure ``policy`` (:data:`FAIL_FAST`, today's
-  default: first failed cell raises and cancels the backlog; or
-  :data:`CONTINUE`: every cell runs, successes are cached, and a
-  :class:`MatrixError` summarising the failures is raised at the end),
-  per-cell ``max_retries`` with exponential backoff and deterministic
-  seeded jitter, a per-cell wall-clock ``timeout`` (SIGALRM in the
-  executing process — a hung cell is cancelled and requeued), and
-  ``BrokenProcessPool`` recovery that rebuilds the pool and requeues the
-  in-flight cells, bounded by ``max_pool_restarts``.  Every ``run`` fills
-  in a structured :class:`MatrixReport` (``runner.last_report``) with
-  per-cell status, attempts and recovery events;
-* :class:`ResultCache` — an on-disk result store keyed by
-  ``(label, workload, warmup, measure, config-hash, topology-hash)`` so
-  re-running a figure driver skips completed cells.  Entries carry a
-  sha256 over the payload, verified on load — a torn or corrupt entry is
-  quarantined and treated as a miss, never served;
-* a process-wide default runner configured from the environment
-  (``REPRO_WORKERS``, ``REPRO_CACHE_DIR``, ``REPRO_PROGRESS``,
-  ``REPRO_FAILURE_POLICY``, ``REPRO_MAX_RETRIES``, ``REPRO_CELL_TIMEOUT``,
-  ``REPRO_POOL_RESTARTS``) or from the CLI flags of ``repro.cli`` /
-  ``python -m repro.experiments``.
-
-Determinism: the simulator is seeded end to end, so a cell's result depends
-only on the job description — never on which worker ran it, in what order,
-or on which attempt after a crash or timeout.  That is what makes the
-fan-out, the cache *and* the recovery paths sound; the recovery paths are
-exercised by real injected faults via :mod:`repro.faults` (see
-``docs/robustness.md``).
+The parallel-execution machinery that lived here — job identity, the
+result cache, the retry/timeout/failure-policy scheduler and the
+process-pool loop — moved to the :mod:`repro.fabric` package (jobs /
+store / backends / scheduler as separate seams; see ``docs/fabric.md``).
+This module re-exports the historical surface unchanged, so existing
+imports, the ``REPRO_*`` environment knobs and every error message keep
+working bit-for-bit.  New code should import from :mod:`repro.fabric`;
+new capabilities (streaming ``run_iter``, cross-submission dedup via
+:class:`repro.fabric.Scheduler`, pluggable backends) live only there.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
-import pickle
-import signal
-import sys
-import threading
-import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
-
-from ..common.params import SystemConfig
-from ..core.multicore import simulate_multicore
-from ..core.simulator import SimulationResult, simulate, simulate_smt
-from ..faults import inject as fault_inject
-from ..faults import plan as fault_plans
-from ..kernel import resolve_engine
-from ..topology.presets import resolve_topology
-from ..topology.spec import TopologySpec
-from ..workloads.base import SyntheticWorkload
-
-#: Bump to invalidate every cached result (e.g. after a simulator behaviour
-#: change that job descriptions cannot see).  4: checksummed entry format.
-#: 5: MSHR structural retirement preserves Type bits (and exports
-#: ``*.mshr_retirements``), so cells simulated before the fix are stale.
-#: 6: jobs carry an execution engine; pre-engine entries predate the
-#: ``engine=`` key part and must not be served for either engine.
-CACHE_VERSION = 6
-
-#: Failure policies: fail-fast preserves the historical behaviour (first
-#: failed cell raises :class:`SimulationError` and cancels the backlog);
-#: collect-and-continue finishes every cell, caches the successes, and
-#: raises a :class:`MatrixError` summarising the failures at the end.
-FAIL_FAST = "fail-fast"
-CONTINUE = "continue"
-FAILURE_POLICIES = (FAIL_FAST, CONTINUE)
-
-
-class SimulationError(RuntimeError):
-    """A cell of the experiment matrix failed; names the failing cell."""
-
-
-class ConfigurationError(ValueError):
-    """A runner knob (flag or ``REPRO_*`` variable) could not be parsed."""
-
-
-class CellTimeout(RuntimeError):
-    """A cell exceeded the per-cell wall-clock ``timeout`` and was cancelled."""
-
-
-@dataclass(frozen=True)
-class SimJob:
-    """One independent simulation: a ``(technique, workload)`` cell.
-
-    ``workloads`` holds one workload for a single-thread run or two for an
-    SMT co-location (dispatching to :func:`simulate` / :func:`simulate_smt`).
-    ``topology`` selects the machine graph — ``None`` for the default
-    Table 1 hierarchy, a preset name (``"split-stlb"``, ``"multicore-2"``,
-    ...) or a full :class:`TopologySpec`.  A multi-core topology dispatches
-    to :func:`simulate_multicore` and takes one workload per core.
-    ``engine`` selects the execution engine (:mod:`repro.kernel`): ``None``
-    defers to ``REPRO_ENGINE`` then the default, so the choice resolves on
-    the executing worker and is pinned into the cache key.
-    """
-
-    config: SystemConfig
-    workloads: Tuple[SyntheticWorkload, ...]
-    warmup: int
-    measure: int
-    label: str = ""
-    topology: Union[None, str, TopologySpec] = None
-    engine: Optional[str] = None
-
-    def __post_init__(self) -> None:
-        if not self.workloads:
-            raise ValueError("SimJob needs at least one workload")
-        resolve_engine(self.engine)  # validate eagerly, at job-build time
-        if self.topology is None and len(self.workloads) > 2:
-            raise ValueError("SimJob takes one workload (1T) or two (SMT)")
-
-    def resolved_topology(self) -> TopologySpec:
-        """The job's machine graph as a spec (default graph when ``None``)."""
-        return resolve_topology(self.topology, self.config)
-
-    @property
-    def workload_name(self) -> str:
-        return "+".join(w.name for w in self.workloads)
-
-    @property
-    def cell(self) -> str:
-        """Human-readable cell name for logs, errors and fault-plan keys."""
-        return f"{self.label or 'default'} x {self.workload_name}"
-
-
-def single(
-    config: SystemConfig,
-    workload: SyntheticWorkload,
-    warmup: int,
-    measure: int,
-    label: str = "",
-    topology: Union[None, str, TopologySpec] = None,
-    engine: Optional[str] = None,
-) -> SimJob:
-    """Convenience constructor for a single-thread job."""
-    return SimJob(config, (workload,), warmup, measure, label, topology, engine)
-
-
-def smt(
-    config: SystemConfig,
-    workloads: Sequence[SyntheticWorkload],
-    warmup: int,
-    measure: int,
-    label: str = "",
-    topology: Union[None, str, TopologySpec] = None,
-    engine: Optional[str] = None,
-) -> SimJob:
-    """Convenience constructor for a two-thread SMT job."""
-    return SimJob(config, tuple(workloads), warmup, measure, label, topology, engine)
-
-
-# --------------------------------------------------------------------- #
-# Cache keys
-# --------------------------------------------------------------------- #
-
-
-def workload_fingerprint(workload: SyntheticWorkload) -> str:
-    """Deterministic identity of a workload's generated stream.
-
-    Workload generators are pure functions of their constructor parameters
-    (all public attributes; derived state like pre-built function tables is
-    underscore-prefixed), so class + public attributes pin the trace.
-    """
-    public = sorted(
-        (k, v) for k, v in vars(workload).items() if not k.startswith("_")
-    )
-    return f"{type(workload).__module__}.{type(workload).__qualname__}{public!r}"
-
-
-def job_key(job: SimJob) -> str:
-    """Stable cache key for a job.
-
-    ``SystemConfig`` is a tree of frozen dataclasses whose ``repr`` lists
-    every field, so it serves as a canonical config hash input.  The
-    topology is always resolved to a spec and keyed by its content hash —
-    so a preset name and the equivalent explicit spec share cache entries,
-    while jobs differing only in machine graph never collide.  The engine
-    is keyed *resolved* (both engines are bit-identical, but separate keys
-    keep a per-engine provenance trail and make cross-engine cache hits an
-    explicit non-goal); a job deferring to ``REPRO_ENGINE`` therefore maps
-    to the same entry as one pinning that engine explicitly.
-    """
-    parts = [
-        f"cache-version={CACHE_VERSION}",
-        f"label={job.label}",
-        f"warmup={job.warmup}",
-        f"measure={job.measure}",
-        f"engine={resolve_engine(job.engine)}",
-        f"config={job.config!r}",
-        f"topology={job.resolved_topology().content_hash()}",
-    ]
-    parts.extend(workload_fingerprint(w) for w in job.workloads)
-    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
-
-
-# --------------------------------------------------------------------- #
-# Result cache
-# --------------------------------------------------------------------- #
-
-#: Entry layout: magic, then sha256(payload), then the pickled payload.
-#: The digest is verified on every load — a mismatch (torn write, bit rot,
-#: a pre-checksum cache) quarantines the file and reads as a miss.
-_CACHE_MAGIC = b"repro-result-cache-v1\n"
-_DIGEST_LEN = 32
-
-#: Temp files from writers that died mid-store are swept at cache startup
-#: once they are older than this (seconds) — young ones may be live writes.
-STALE_TMP_SECONDS = 3600.0
-
-
-class ResultCache:
-    """On-disk :class:`SimulationResult` store, one checksummed file per cell.
-
-    Writes are atomic (temp file + ``os.replace``; the temp file is removed
-    even when the write fails), so concurrent workers or concurrent figure
-    drivers can share one cache directory.  Loads verify a sha256 trailer
-    over the payload: an entry that fails verification is moved to a
-    ``quarantine/`` subdirectory — kept for forensics, never served — and
-    the cell is transparently re-simulated.  Delete the directory (or bump
-    :data:`CACHE_VERSION`) to invalidate.
-    """
-
-    def __init__(self, directory: Union[str, Path]) -> None:
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self.quarantine_dir = self.directory / "quarantine"
-        # Observability for the runner's MatrixReport and for tests.
-        self.quarantined = 0
-        self.last_quarantined: Optional[str] = None
-        self.store_failures = 0
-        self.sweep_stale_tmp()
-
-    def path(self, key: str) -> Path:
-        return self.directory / f"{key}.pkl"
-
-    def sweep_stale_tmp(self, max_age_seconds: float = STALE_TMP_SECONDS) -> int:
-        """Remove temp files abandoned by dead writers; returns the count."""
-        removed = 0
-        cutoff = time.time() - max_age_seconds
-        for tmp in self.directory.glob(".*.tmp"):
-            try:
-                if tmp.stat().st_mtime < cutoff:
-                    tmp.unlink()
-                    removed += 1
-            except OSError:
-                pass
-        return removed
-
-    def load(self, key: str) -> Optional[SimulationResult]:
-        self.last_quarantined = None
-        path = self.path(key)
-        try:
-            data = path.read_bytes()
-        except OSError:
-            return None
-        if not data.startswith(_CACHE_MAGIC):
-            self._quarantine(path, "bad magic (foreign or pre-checksum format)")
-            return None
-        digest = data[len(_CACHE_MAGIC):len(_CACHE_MAGIC) + _DIGEST_LEN]
-        payload = data[len(_CACHE_MAGIC) + _DIGEST_LEN:]
-        if hashlib.sha256(payload).digest() != digest:
-            self._quarantine(path, "sha256 mismatch (torn or corrupt write)")
-            return None
-        try:
-            result = pickle.loads(payload)
-        except Exception:
-            # Checksum-valid but unreadable: the bytes are what the writer
-            # stored, the *code* moved underneath them (stale class layout).
-            # A plain miss — re-simulation will overwrite with fresh bytes.
-            return None
-        return result if isinstance(result, SimulationResult) else None
-
-    def store(self, key: str, result: SimulationResult) -> None:
-        path = self.path(key)
-        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-        data = _CACHE_MAGIC + hashlib.sha256(payload).digest() + payload
-        # Fault-injection sites: corrupt the bytes *after* the digest was
-        # computed, exactly like bit rot or a torn write would.
-        if fault_inject.should_fire(fault_plans.CACHE_CORRUPT_WRITE, key):
-            data = data[:-1] + bytes([data[-1] ^ 0xFF])
-        if fault_inject.should_fire(fault_plans.CACHE_TORN_WRITE, key):
-            data = data[: max(len(_CACHE_MAGIC) + _DIGEST_LEN + 1, len(data) // 2)]
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        try:
-            tmp.write_bytes(data)
-            os.replace(tmp, path)
-        finally:
-            # On a failed write (disk full, replace error) the temp file
-            # must not leak; after a successful replace this is a no-op.
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
-
-    def _quarantine(self, path: Path, reason: str) -> None:
-        """Move a bad entry aside so it is never loaded again."""
-        try:
-            self.quarantine_dir.mkdir(exist_ok=True)
-            os.replace(path, self.quarantine_dir / f"{path.name}.{os.getpid()}")
-        except OSError:
-            try:
-                path.unlink()
-            except OSError:
-                pass
-        self.quarantined += 1
-        self.last_quarantined = reason
-
-    def clear(self) -> int:
-        """Remove every cached result; returns the number removed."""
-        removed = 0
-        for path in self.directory.glob("*.pkl"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        return removed
-
-
-# --------------------------------------------------------------------- #
-# Matrix report
-# --------------------------------------------------------------------- #
-
-
-@dataclass
-class CellReport:
-    """Outcome of one matrix cell across all its attempts."""
-
-    index: int
-    cell: str
-    status: str = "pending"  # pending | ok | cached | failed | timeout
-    attempts: int = 0
-    elapsed: float = 0.0
-    error: Optional[str] = None
-    #: Recovery events in order: retries, requeues after pool restarts,
-    #: quarantined cache entries.
-    events: List[str] = field(default_factory=list)
-    #: Fault sites the active :class:`repro.faults.FaultPlan` arms for this
-    #: cell (a pure function of the plan, so attribution is exact even for
-    #: crashes that leave no exception behind).
-    injected: Tuple[str, ...] = ()
-
-    @property
-    def succeeded(self) -> bool:
-        return self.status in ("ok", "cached")
-
-
-@dataclass
-class MatrixReport:
-    """Per-cell outcomes of one :meth:`ParallelRunner.run` call."""
-
-    cells: List[CellReport]
-    pool_restarts: int = 0
-
-    @property
-    def ok(self) -> bool:
-        return all(cell.succeeded for cell in self.cells)
-
-    def failures(self) -> List[CellReport]:
-        return [cell for cell in self.cells if not cell.succeeded]
-
-    def counts(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for cell in self.cells:
-            counts[cell.status] = counts.get(cell.status, 0) + 1
-        return counts
-
-    def summary(self) -> str:
-        """Multi-line human-readable report (drivers print this)."""
-        counts = self.counts()
-        parts = [
-            f"{counts[status]} {status}"
-            for status in ("ok", "cached", "failed", "timeout", "pending")
-            if counts.get(status)
-        ]
-        head = f"matrix: {len(self.cells)} cell(s) — {', '.join(parts) or 'empty'}"
-        if self.pool_restarts:
-            head += f"; {self.pool_restarts} pool restart(s)"
-        lines = [head]
-        for cell in self.cells:
-            notes = list(cell.events)
-            if cell.injected:
-                notes.insert(0, "injected: " + "+".join(cell.injected))
-            if cell.succeeded and not notes:
-                continue
-            detail = f"  [{cell.status}] {cell.cell} (attempts={cell.attempts})"
-            if cell.error:
-                detail += f": {cell.error}"
-            if notes:
-                detail += " — " + "; ".join(notes)
-            lines.append(detail)
-        return "\n".join(lines)
-
-
-class MatrixError(SimulationError):
-    """Collect-and-continue run finished with failed cells.
-
-    Carries the full :class:`MatrixReport` (``.report``) and the partial
-    result list in job order with ``None`` for failed cells (``.results``),
-    so callers can salvage the completed work.
-    """
-
-    def __init__(
-        self, report: MatrixReport, results: List[Optional[SimulationResult]]
-    ) -> None:
-        failures = report.failures()
-        names = ", ".join(cell.cell for cell in failures[:5])
-        more = "" if len(failures) <= 5 else f" (+{len(failures) - 5} more)"
-        super().__init__(
-            f"{len(failures)} of {len(report.cells)} matrix cell(s) failed: "
-            f"{names}{more}"
-        )
-        self.report = report
-        self.results = results
-
-
-# --------------------------------------------------------------------- #
-# Execution
-# --------------------------------------------------------------------- #
-
-
-@contextmanager
-def _cell_deadline(seconds: Optional[float]) -> Iterator[None]:
-    """Enforce a wall-clock limit on the enclosed cell via ``SIGALRM``.
-
-    Armed in the process that executes the cell (a pool worker's task
-    thread is its process's main thread), so a genuinely hung simulation —
-    or an injected ``worker.hang`` — is interrupted even though
-    ``concurrent.futures`` cannot cancel a running task.  No-op without a
-    limit, off POSIX, or off the main thread (where signals cannot arm).
-    """
-    if (
-        not seconds
-        or os.name != "posix"
-        or threading.current_thread() is not threading.main_thread()
-    ):
-        yield
-        return
-
-    def _on_alarm(signum: int, frame: object) -> None:
-        raise CellTimeout(f"cell exceeded its {seconds:g}s wall-clock limit")
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-def _execute(
-    job: SimJob, attempt: int = 0, timeout: Optional[float] = None
-) -> Tuple[SimulationResult, float]:
-    """Run one cell; returns (result, wall seconds).  Must stay module-level
-    picklable — it is the function shipped to pool workers."""
-    start = time.perf_counter()
-    with _cell_deadline(timeout):
-        if attempt == 0:
-            # Worker faults arm only a cell's first attempt, so retried and
-            # requeued cells run clean and every chaos run converges.
-            fault_inject.maybe_crash(job.cell)
-            fault_inject.maybe_hang(job.cell)
-        topology = job.resolved_topology() if job.topology is not None else None
-        if topology is not None and topology.num_cores > 1:
-            result = simulate_multicore(
-                job.config, list(job.workloads), job.warmup, job.measure,
-                config_label=job.label, topology=topology, engine=job.engine,
-            )
-        elif len(job.workloads) == 1:
-            result = simulate(
-                job.config, job.workloads[0], job.warmup, job.measure,
-                config_label=job.label, topology=topology, engine=job.engine,
-            )
-        else:
-            result = simulate_smt(
-                job.config, list(job.workloads), job.warmup, job.measure,
-                config_label=job.label, topology=topology, engine=job.engine,
-            )
-    return result, time.perf_counter() - start
-
-
-# --------------------------------------------------------------------- #
-# Environment knobs
-# --------------------------------------------------------------------- #
-
-
-def _env_workers() -> int:
-    value = os.environ.get("REPRO_WORKERS", "").strip()
-    if not value:
-        return 1
-    if value.lower() == "auto":
-        return os.cpu_count() or 1
-    try:
-        count = int(value)
-    except ValueError:
-        raise ConfigurationError(
-            f"REPRO_WORKERS must be a positive integer or 'auto', got {value!r}"
-        ) from None
-    return max(1, count)
-
-
-def _env_int(name: str, default: int, minimum: int = 0) -> int:
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ConfigurationError(
-            f"{name} must be an integer, got {raw!r}"
-        ) from None
-    return max(minimum, value)
-
-
-def _env_float(name: str, default: Optional[float]) -> Optional[float]:
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return default
-    try:
-        return float(raw)
-    except ValueError:
-        raise ConfigurationError(
-            f"{name} must be a number of seconds, got {raw!r}"
-        ) from None
-
-
-def _jitter(cell: str, attempt: int) -> float:
-    """Deterministic retry jitter in [0.5, 1) — seeded by cell and attempt,
-    so backoff schedules are reproducible run to run."""
-    digest = hashlib.sha256(f"backoff|{cell}|{attempt}".encode("utf-8")).digest()
-    return 0.5 + 0.5 * (int.from_bytes(digest[:8], "big") / 2.0**64)
-
-
-class ParallelRunner:
-    """Fans a :class:`SimJob` list out over worker processes.
-
-    * ``workers`` — process count; ``1`` (default) runs serially in-process,
-      ``None``/``"auto"`` uses every core.
-    * ``cache_dir`` — enable the on-disk result cache at this directory.
-    * ``progress`` — per-cell completion/timing lines on stderr.
-    * ``policy`` — :data:`FAIL_FAST` (default; unchanged historical
-      behaviour) or :data:`CONTINUE` (finish every cell, raise
-      :class:`MatrixError` at the end if any failed).
-    * ``max_retries`` — extra attempts per failed/timed-out cell (default
-      0), with exponential backoff ``backoff_base * 2**(attempt-1)`` times
-      a deterministic jitter.
-    * ``timeout`` — per-cell wall-clock seconds; a cell over budget raises
-      :class:`CellTimeout` in its process and is retried like any failure.
-    * ``max_pool_restarts`` — how many times a ``BrokenProcessPool`` (a
-      worker killed by the OS) may be rebuilt, requeuing the in-flight
-      cells (default 2; a separate budget from per-cell retries).
-    * ``faults`` — a programmatic :class:`repro.faults.FaultPlan` (or spec
-      string) for this runner; default: the ambient ``REPRO_FAULTS`` plan.
-
-    Unset knobs fall back to ``REPRO_FAILURE_POLICY``, ``REPRO_MAX_RETRIES``,
-    ``REPRO_CELL_TIMEOUT`` and ``REPRO_POOL_RESTARTS``.  ``run`` preserves
-    job order in its result list, independent of worker scheduling, so
-    callers can zip results back onto their matrix; each run also fills in
-    a :class:`MatrixReport` at ``runner.last_report``.
-    """
-
-    def __init__(
-        self,
-        workers: Union[int, str, None] = 1,
-        cache_dir: Union[str, Path, None] = None,
-        progress: Optional[bool] = None,
-        *,
-        policy: Optional[str] = None,
-        max_retries: Optional[int] = None,
-        timeout: Optional[float] = None,
-        backoff_base: float = 0.25,
-        max_pool_restarts: Optional[int] = None,
-        faults: Union["fault_plans.FaultPlan", str, None] = None,
-    ) -> None:
-        if workers is None or workers == "auto":
-            workers = os.cpu_count() or 1
-        try:
-            self.workers = max(1, int(workers))
-        except (TypeError, ValueError):
-            raise ConfigurationError(
-                f"workers must be a positive integer or 'auto', got {workers!r}"
-            ) from None
-        self.cache = ResultCache(cache_dir) if cache_dir else None
-        if progress is None:
-            progress = os.environ.get("REPRO_PROGRESS", "") == "1"
-        self.progress = progress
-        if policy is None:
-            policy = os.environ.get("REPRO_FAILURE_POLICY", "").strip() or FAIL_FAST
-        if policy not in FAILURE_POLICIES:
-            raise ConfigurationError(
-                f"failure policy must be one of {FAILURE_POLICIES}, got {policy!r} "
-                "(set via policy= or REPRO_FAILURE_POLICY)"
-            )
-        self.policy = policy
-        if max_retries is None:
-            max_retries = _env_int("REPRO_MAX_RETRIES", 0)
-        self.max_retries = max(0, int(max_retries))
-        if timeout is None:
-            timeout = _env_float("REPRO_CELL_TIMEOUT", None)
-        self.timeout = timeout if timeout and timeout > 0 else None
-        self.backoff_base = max(0.0, float(backoff_base))
-        if max_pool_restarts is None:
-            max_pool_restarts = _env_int("REPRO_POOL_RESTARTS", 2)
-        self.max_pool_restarts = max(0, int(max_pool_restarts))
-        if isinstance(faults, str):
-            faults = fault_plans.FaultPlan.parse(faults)
-        self.fault_plan: Optional[fault_plans.FaultPlan] = faults or None
-        if self.fault_plan is None:
-            # Surface a malformed REPRO_FAULTS now, as a configuration
-            # error, rather than as a traceback mid-matrix.
-            try:
-                fault_plans.active_plan()
-            except fault_plans.FaultSpecError as exc:
-                raise ConfigurationError(f"{fault_plans.ENV_VAR}: {exc}") from exc
-        # Lifetime counters (tests and progress summaries read these).
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.simulations = 0
-        self.failed_cells = 0
-        self.last_report: Optional[MatrixReport] = None
-        self.reports: List[MatrixReport] = []
-
-    # ----------------------------------------------------------------- #
-
-    def _log(self, message: str) -> None:
-        if self.progress:
-            print(f"[runner] {message}", file=sys.stderr, flush=True)
-
-    def _finish(
-        self, job: SimJob, key: Optional[str], outcome: Tuple[SimulationResult, float],
-        done: int, total: int,
-    ) -> SimulationResult:
-        result, elapsed = outcome
-        self.simulations += 1
-        if self.cache is not None and key is not None:
-            try:
-                self.cache.store(key, result)
-            except Exception as exc:
-                # A result that cannot be cached is still a result; surface
-                # the problem without failing the cell.
-                self.cache.store_failures += 1
-                self._log(f"cache store failed for {job.cell}: {exc}")
-        self._log(f"{done}/{total} {job.cell}: {elapsed:.1f}s")
-        return result
-
-    def _fail_cell(self, cell: CellReport, error: str, timed_out: bool) -> None:
-        cell.status = "timeout" if timed_out else "failed"
-        cell.error = error
-        self.failed_cells += 1
-        self._log(f"{cell.cell}: {cell.status} after {cell.attempts} attempt(s): {error}")
-
-    def _backoff(self, cell: str, attempt: int) -> None:
-        if self.backoff_base <= 0:
-            return
-        delay = self.backoff_base * (2.0 ** (attempt - 1)) * _jitter(cell, attempt)
-        self._log(f"{cell}: backing off {delay:.2f}s before attempt {attempt + 1}")
-        time.sleep(delay)
-
-    # ----------------------------------------------------------------- #
-
-    def run(self, jobs: Iterable[SimJob]) -> List[SimulationResult]:
-        """Execute all jobs; results come back in job order.
-
-        Under :data:`FAIL_FAST` (default) the first permanently failed cell
-        raises :class:`SimulationError`; under :data:`CONTINUE` every cell
-        runs and a :class:`MatrixError` carrying the report and partial
-        results is raised at the end if any cell failed.
-        """
-        jobs = list(jobs)
-        total = len(jobs)
-        results: List[Optional[SimulationResult]] = [None] * total
-        keys: List[Optional[str]] = [None] * total
-        report = MatrixReport([CellReport(i, job.cell) for i, job in enumerate(jobs)])
-        self.last_report = report
-        self.reports.append(report)
-        pending: List[int] = []
-        done = 0
-
-        with fault_plans.plan_scope(self.fault_plan):
-            for index, job in enumerate(jobs):
-                cell = report.cells[index]
-                if self.cache is not None:
-                    keys[index] = job_key(job)
-                    cached = self.cache.load(keys[index])
-                    if self.cache.last_quarantined:
-                        cell.events.append(
-                            "quarantined corrupt cache entry "
-                            f"({self.cache.last_quarantined}); re-simulating"
-                        )
-                    if cached is not None:
-                        self.cache_hits += 1
-                        done += 1
-                        results[index] = cached
-                        cell.status = "cached"
-                        self._log(f"{done}/{total} {job.cell}: cached")
-                        continue
-                    self.cache_misses += 1
-                pending.append(index)
-
-            plan = fault_plans.active_plan()
-            if plan is not None:
-                for index in pending:
-                    injected = [
-                        site for site in fault_plans.WORKER_SITES
-                        if plan.would_fire(site, jobs[index].cell)
-                    ]
-                    key = keys[index]
-                    if key is not None:
-                        injected.extend(
-                            site for site in fault_plans.CACHE_SITES
-                            if plan.would_fire(site, key)
-                        )
-                    report.cells[index].injected = tuple(injected)
-
-            if pending:
-                if self.workers == 1 or len(pending) == 1:
-                    self._run_serial(jobs, keys, results, report, pending, done, total)
-                else:
-                    self._run_pool(jobs, keys, results, report, pending, done, total)
-
-        if report.failures():
-            raise MatrixError(report, results)
-        missing = [report.cells[i].cell for i, r in enumerate(results) if r is None]
-        if missing:
-            # Every slot must be filled or accounted for as a failure above;
-            # anything else is a runner bug and must fail loudly, never be
-            # silently dropped from the result list.
-            raise SimulationError(
-                f"internal error: {len(missing)} matrix cell(s) finished without a "
-                f"result or a recorded failure: {', '.join(missing)}"
-            )
-        return [r for r in results if r is not None]
-
-    # ----------------------------------------------------------------- #
-
-    def _run_serial(
-        self,
-        jobs: List[SimJob],
-        keys: List[Optional[str]],
-        results: List[Optional[SimulationResult]],
-        report: MatrixReport,
-        pending: List[int],
-        done: int,
-        total: int,
-    ) -> None:
-        for index in pending:
-            job = jobs[index]
-            cell = report.cells[index]
-            attempt = 0
-            while True:
-                try:
-                    outcome = _execute(job, attempt, self.timeout)
-                except Exception as exc:
-                    attempt += 1
-                    cell.attempts = attempt
-                    if attempt <= self.max_retries:
-                        cell.events.append(f"retry after {type(exc).__name__}: {exc}")
-                        self._backoff(job.cell, attempt)
-                        continue
-                    self._fail_cell(
-                        cell, f"{type(exc).__name__}: {exc}",
-                        isinstance(exc, CellTimeout),
-                    )
-                    if self.policy == FAIL_FAST:
-                        raise SimulationError(
-                            f"simulation failed for cell ({job.cell}): {exc}"
-                        ) from exc
-                    break
-                attempt += 1
-                done += 1
-                cell.attempts = attempt
-                cell.elapsed = outcome[1]
-                results[index] = self._finish(job, keys[index], outcome, done, total)
-                cell.status = "ok"
-                break
-
-    def _new_pool(self, pending_count: int) -> ProcessPoolExecutor:
-        kwargs: Dict[str, object] = {}
-        if self.fault_plan is not None:
-            # Explicit plans must reach the workers; env-armed plans get
-            # there for free because workers inherit the environment.
-            kwargs.update(
-                initializer=fault_plans.install_plan,
-                initargs=(self.fault_plan.spec_string(),),
-            )
-        return ProcessPoolExecutor(
-            max_workers=min(self.workers, pending_count), **kwargs
-        )
-
-    def _run_pool(
-        self,
-        jobs: List[SimJob],
-        keys: List[Optional[str]],
-        results: List[Optional[SimulationResult]],
-        report: MatrixReport,
-        pending: List[int],
-        done: int,
-        total: int,
-    ) -> None:
-        consumed = {index: 0 for index in pending}
-        to_submit = list(pending)
-        futures: Dict["Future[Tuple[SimulationResult, float]]", int] = {}
-        restarts = 0
-        pool = self._new_pool(len(pending))
-        try:
-            while to_submit or futures:
-                broken = False
-                while to_submit and not broken:
-                    index = to_submit[0]
-                    try:
-                        future = pool.submit(
-                            _execute, jobs[index], consumed[index], self.timeout
-                        )
-                    except (BrokenProcessPool, RuntimeError):
-                        # The pool broke between harvest and submit; the
-                        # cell never started, so it keeps its attempt count.
-                        broken = True
-                        break
-                    futures[future] = index
-                    to_submit.pop(0)
-
-                if not broken and futures:
-                    ready, _ = wait(set(futures), return_when=FIRST_COMPLETED)
-                    completed = []
-                    for future in ready:
-                        if isinstance(future.exception(), BrokenProcessPool):
-                            broken = True
-                        else:
-                            completed.append(future)
-                    for future in completed:
-                        index = futures.pop(future)
-                        cell = report.cells[index]
-                        exc = future.exception()
-                        consumed[index] += 1
-                        cell.attempts = consumed[index]
-                        if exc is not None:
-                            if consumed[index] <= self.max_retries:
-                                cell.events.append(
-                                    f"retry after {type(exc).__name__}: {exc}"
-                                )
-                                self._backoff(jobs[index].cell, consumed[index])
-                                to_submit.append(index)
-                                continue
-                            self._fail_cell(
-                                cell, f"{type(exc).__name__}: {exc}",
-                                isinstance(exc, CellTimeout),
-                            )
-                            if self.policy == FAIL_FAST:
-                                raise SimulationError(
-                                    f"simulation failed for cell "
-                                    f"({jobs[index].cell}): {exc}"
-                                ) from exc
-                            continue
-                        done += 1
-                        outcome = future.result()
-                        cell.elapsed = outcome[1]
-                        results[index] = self._finish(
-                            jobs[index], keys[index], outcome, done, total
-                        )
-                        cell.status = "ok"
-
-                if broken:
-                    restarts += 1
-                    report.pool_restarts = restarts
-                    interrupted = sorted(futures.values())
-                    futures.clear()
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    exhausted = restarts > self.max_pool_restarts
-                    for index in interrupted:
-                        # The in-flight attempt was consumed by the crash;
-                        # requeued cells resume at the next attempt number,
-                        # so first-attempt-only injected faults cannot
-                        # re-fire and the matrix converges.
-                        consumed[index] += 1
-                        cell = report.cells[index]
-                        cell.attempts = consumed[index]
-                        if exhausted:
-                            cell.events.append(
-                                f"worker crash (pool restart {restarts} exceeds "
-                                f"budget {self.max_pool_restarts})"
-                            )
-                        else:
-                            cell.events.append(
-                                "interrupted by worker crash; requeued "
-                                f"(pool restart {restarts})"
-                            )
-                            to_submit.append(index)
-                    if exhausted:
-                        stranded = interrupted + [
-                            i for i in to_submit if i not in interrupted
-                        ]
-                        to_submit = []
-                        for index in stranded:
-                            self._fail_cell(
-                                report.cells[index],
-                                f"worker pool broke {restarts} times "
-                                f"(max_pool_restarts={self.max_pool_restarts})",
-                                False,
-                            )
-                        if self.policy == FAIL_FAST:
-                            names = ", ".join(jobs[i].cell for i in stranded[:5])
-                            raise SimulationError(
-                                f"worker pool broke {restarts} times "
-                                f"(max_pool_restarts={self.max_pool_restarts}); "
-                                f"stranded cells: {names}"
-                            )
-                    else:
-                        self._log(
-                            f"worker pool broken; rebuilding "
-                            f"(restart {restarts}/{self.max_pool_restarts}, "
-                            f"{len(interrupted)} cell(s) requeued)"
-                        )
-                        pool = self._new_pool(len(pending))
-        finally:
-            # Cancel queued cells on failure so a bad matrix fails fast
-            # instead of draining the whole backlog first.
-            pool.shutdown(wait=True, cancel_futures=True)
-
-
-# --------------------------------------------------------------------- #
-# Process-wide default runner
-# --------------------------------------------------------------------- #
-
-_default_runner: Optional[ParallelRunner] = None
-
-
-def get_default_runner() -> ParallelRunner:
-    """The runner used when an experiment API is called without one.
-
-    First use builds it from the environment: ``REPRO_WORKERS`` (a count or
-    ``auto``; default 1, keeping library calls serial and deterministic),
-    ``REPRO_CACHE_DIR`` (default: no cache), ``REPRO_PROGRESS=1``, plus the
-    resilience knobs ``REPRO_FAILURE_POLICY``, ``REPRO_MAX_RETRIES``,
-    ``REPRO_CELL_TIMEOUT`` and ``REPRO_POOL_RESTARTS``.
-    """
-    global _default_runner
-    if _default_runner is None:
-        _default_runner = ParallelRunner(
-            workers=_env_workers(),
-            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
-        )
-    return _default_runner
-
-
-def set_default_runner(runner: Optional[ParallelRunner]) -> Optional[ParallelRunner]:
-    """Install (or, with ``None``, reset) the process-wide default runner.
-
-    Returns the previously installed runner so callers can restore it.
-    """
-    global _default_runner
-    previous = _default_runner
-    _default_runner = runner
-    return previous
-
-
-def configure_default_runner(
-    workers: Union[int, str, None] = 1,
-    cache_dir: Union[str, Path, None] = None,
-    progress: Optional[bool] = None,
-    *,
-    policy: Optional[str] = None,
-    max_retries: Optional[int] = None,
-    timeout: Optional[float] = None,
-    backoff_base: float = 0.25,
-    max_pool_restarts: Optional[int] = None,
-    faults: Union["fault_plans.FaultPlan", str, None] = None,
-) -> ParallelRunner:
-    """Build and install the default runner; returns it."""
-    runner = ParallelRunner(
-        workers=workers, cache_dir=cache_dir, progress=progress,
-        policy=policy, max_retries=max_retries, timeout=timeout,
-        backoff_base=backoff_base, max_pool_restarts=max_pool_restarts,
-        faults=faults,
-    )
-    set_default_runner(runner)
-    return runner
-
-
-def run_jobs(
-    jobs: Iterable[SimJob], runner: Optional[ParallelRunner] = None
-) -> List[SimulationResult]:
-    """Run jobs on ``runner`` (or the process-wide default)."""
-    return (runner or get_default_runner()).run(jobs)
+from ..fabric.api import (
+    ParallelRunner,
+    configure_default_runner,
+    get_default_runner,
+    run_iter,
+    run_jobs,
+    set_default_runner,
+)
+from ..fabric.backends.base import _cell_deadline, execute_cell
+from ..fabric.jobs import (
+    CACHE_VERSION,
+    CONTINUE,
+    FAIL_FAST,
+    FAILURE_POLICIES,
+    CellTimeout,
+    ConfigurationError,
+    SimJob,
+    SimulationError,
+    _env_float,
+    _env_int,
+    _env_workers,
+    _jitter,
+    job_key,
+    single,
+    smt,
+    workload_fingerprint,
+)
+from ..fabric.scheduler import (
+    CellReport,
+    MatrixError,
+    MatrixReport,
+    Scheduler,
+    SchedulerConfig,
+    Submission,
+)
+from ..fabric.store import (
+    _CACHE_MAGIC,
+    _DIGEST_LEN,
+    STALE_TMP_SECONDS,
+    ResultCache,
+)
+
+#: Legacy private name for the worker entry point (pre-fabric callers and
+#: tests execute cells through this).
+_execute = execute_cell
+
+__all__ = [
+    "CACHE_VERSION",
+    "CONTINUE",
+    "CellReport",
+    "CellTimeout",
+    "ConfigurationError",
+    "FAILURE_POLICIES",
+    "FAIL_FAST",
+    "MatrixError",
+    "MatrixReport",
+    "ParallelRunner",
+    "ResultCache",
+    "STALE_TMP_SECONDS",
+    "Scheduler",
+    "SchedulerConfig",
+    "SimJob",
+    "SimulationError",
+    "Submission",
+    "_CACHE_MAGIC",
+    "_DIGEST_LEN",
+    "_cell_deadline",
+    "_env_float",
+    "_env_int",
+    "_env_workers",
+    "_execute",
+    "_jitter",
+    "configure_default_runner",
+    "execute_cell",
+    "get_default_runner",
+    "job_key",
+    "run_iter",
+    "run_jobs",
+    "set_default_runner",
+    "single",
+    "smt",
+    "workload_fingerprint",
+]

@@ -19,7 +19,7 @@ from ..topology.spec import TopologySpec
 from ..topology.suites import SUITES, suite_for
 from ..workloads.base import SyntheticWorkload
 from ..workloads.mixes import SMTMix
-from .parallel import ParallelRunner, SimJob, run_jobs
+from ..fabric import ParallelRunner, SimJob, run_iter
 
 #: Default simulation windows (instructions).  The paper uses 50 M + 100 M;
 #: these are scaled for Python speed (DESIGN.md §3).
@@ -84,6 +84,32 @@ class Comparison:
         return sum(r.get(metric) for r in rows.values()) / len(rows)
 
 
+def _collect(
+    jobs: List[SimJob],
+    slots: Sequence[tuple],
+    techniques: Sequence[str],
+    baseline: str,
+    runner: Optional[ParallelRunner],
+) -> Comparison:
+    """Stream the matrix and place results by index.
+
+    ``run_iter`` yields cells as they settle (cached cells immediately,
+    simulated cells in completion order), so progress is visible while the
+    matrix is still running; placement by index keeps the result grid
+    independent of completion order.
+    """
+    grid: List[Optional[SimulationResult]] = [None] * len(jobs)
+    for index, _cell, result in run_iter(jobs, runner):
+        grid[index] = result
+    comparison = Comparison(baseline=baseline)
+    for technique in techniques:
+        comparison.results[technique] = {}
+    for (technique, name), result in zip(slots, grid):
+        assert result is not None  # fail-fast/continue both raise before here
+        comparison.results[technique][name] = result
+    return comparison
+
+
 def compare_single_thread(
     techniques: Sequence[str],
     workloads: Sequence[SyntheticWorkload],
@@ -106,11 +132,8 @@ def compare_single_thread(
         for technique in techniques
         for wl in workloads
     ]
-    results = iter(run_jobs(jobs, runner))
-    comparison = Comparison(baseline=baseline)
-    for technique in techniques:
-        comparison.results[technique] = {wl.name: next(results) for wl in workloads}
-    return comparison
+    slots = [(technique, wl.name) for technique in techniques for wl in workloads]
+    return _collect(jobs, slots, techniques, baseline, runner)
 
 
 def compare_smt(
@@ -130,8 +153,5 @@ def compare_smt(
         for technique in techniques
         for mix in mixes
     ]
-    results = iter(run_jobs(jobs, runner))
-    comparison = Comparison(baseline=baseline)
-    for technique in techniques:
-        comparison.results[technique] = {mix.name: next(results) for mix in mixes}
-    return comparison
+    slots = [(technique, mix.name) for technique in techniques for mix in mixes]
+    return _collect(jobs, slots, techniques, baseline, runner)

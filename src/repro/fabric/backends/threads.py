@@ -1,0 +1,67 @@
+"""Thread-pool backend: cheap concurrency for scheduler tests.
+
+Threads share the interpreter, so this backend exists for concurrency
+*semantics* (interleaved submissions, dedup races, streaming order), not
+throughput — the GIL serialises the simulation work.  Two contract gaps
+versus the process backend, both inherent to threads:
+
+* per-cell SIGALRM deadlines cannot arm off the main thread, so
+  ``timeout`` is best-effort only (:func:`~.base._cell_deadline` no-ops);
+* a programmatic fault plan is only visible to worker threads while it is
+  installed process-wide (``repro.faults.plan.install_plan`` or the
+  ``REPRO_FAULTS`` environment) — there is no per-thread initializer.
+
+Injected ``worker.crash`` faults raise ``InjectedWorkerCrash`` here (the
+calling process is the main process), feeding the scheduler's retry path
+rather than breaking the substrate — threads cannot break the way a
+killed process does, so this backend never raises ``BackendBroken``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Dict, List, Optional, Tuple
+
+from ...core.simulator import SimulationResult
+from ..jobs import SimJob
+from .base import Backend, CellCompletion, execute_cell
+
+
+class ThreadPoolBackend(Backend):
+    """Fan attempts out over a ``ThreadPoolExecutor``."""
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, int(workers))
+        self.capacity = self.workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._futures: Dict[
+            "Future[Tuple[SimulationResult, float]]", object
+        ] = {}
+
+    def submit(
+        self, token: object, job: SimJob, attempt: int, timeout: Optional[float]
+    ) -> None:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        future = self._pool.submit(execute_cell, job, attempt, timeout)
+        self._futures[future] = token
+
+    def drain(self) -> List[CellCompletion]:
+        if not self._futures:
+            return []
+        ready, _ = wait(set(self._futures), return_when=FIRST_COMPLETED)
+        completions: List[CellCompletion] = []
+        for future in ready:
+            token = self._futures.pop(future)
+            error = future.exception()
+            if error is not None:
+                completions.append(CellCompletion(token, error=error))
+            else:
+                completions.append(CellCompletion(token, outcome=future.result()))
+        return completions
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._futures.clear()

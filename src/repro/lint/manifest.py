@@ -234,9 +234,13 @@ KERNEL_GATED_EFFECTS: Dict[str, str] = {
 }
 
 #: RPR008 entry points: functions shipped to pool workers.  Everything
-#: reachable from them must stay deterministic.
+#: reachable from them must stay deterministic.  ``Backend.execute`` is
+#: the fabric's execution seam (every backend funnels attempts through
+#: it); ``execute_cell`` is the module-level body it delegates to, which
+#: is what ``ProcessPoolExecutor`` actually pickles to workers.  RPR009
+#: cross-checks that both names still resolve.
 WORKER_ENTRY_POINTS: Dict[str, FrozenSet[str]] = {
-    "experiments/parallel.py": frozenset({"_execute"}),
+    "fabric/backends/base.py": frozenset({"Backend.execute", "execute_cell"}),
 }
 
 #: Relkey prefixes whose code RPR008 does not descend into: the

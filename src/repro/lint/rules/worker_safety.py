@@ -1,7 +1,8 @@
 """RPR008 — worker-reachable code is deterministic and share-nothing.
 
-``ParallelRunner`` ships its worker entry points
-(:data:`repro.lint.manifest.WORKER_ENTRY_POINTS`) to pool processes, and
+The fabric's execution backends ship the worker entry points
+(:data:`repro.lint.manifest.WORKER_ENTRY_POINTS` — ``Backend.execute``
+and the ``execute_cell`` body it delegates to) to pool processes, and
 the planned multi-host backends will ship them further.  Two invariants
 make that safe and keep cell results content-addressable by ``job_key``:
 

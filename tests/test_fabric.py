@@ -1,0 +1,216 @@
+"""Tests for the execution fabric: scheduler dedup, streaming, backends.
+
+The facade contract (``ParallelRunner``/``run_jobs``) is pinned by
+``test_parallel_runner.py``; this module covers what only the fabric
+provides — cross-submission dedup, incremental delivery and pluggable
+backends — plus the ``configure_default_runner`` worker-count regression.
+"""
+
+import threading
+
+import pytest
+
+from repro.common.params import scaled_config
+from repro.fabric import (
+    ParallelRunner,
+    Scheduler,
+    SchedulerConfig,
+    SimJob,
+    configure_default_runner,
+    job_key,
+    run_iter,
+    set_default_runner,
+)
+from repro.fabric.store import ResultCache
+from repro.faults import install_plan
+from repro.faults import plan as fault_plan_mod
+from repro.workloads.server import ServerWorkload
+
+WARMUP = 2_000
+MEASURE = 8_000
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_state():
+    """Isolate each test from installed fault plans and the env-plan cache."""
+    install_plan(None)
+    fault_plan_mod._env_cache = (None, None)
+    yield
+    install_plan(None)
+    fault_plan_mod._env_cache = (None, None)
+
+
+def small_workloads(count=2):
+    return [ServerWorkload(f"w{i}", seed=i + 1) for i in range(count)]
+
+
+def jobs_for(labels, workloads=None):
+    base = scaled_config()
+    return [
+        SimJob(base, (wl,), WARMUP, MEASURE, label=label)
+        for label in labels
+        for wl in (workloads or small_workloads())
+    ]
+
+
+def assert_same_result(a, b):
+    assert a.metrics == b.metrics
+    assert a.stats.cycles == b.stats.cycles
+    assert a.stats.instructions == b.stats.instructions
+
+
+class TestConcurrentDedup:
+    def _submit_concurrently(self, scheduler, matrices):
+        results = [None] * len(matrices)
+        errors = []
+        barrier = threading.Barrier(len(matrices))
+
+        def consume(slot, jobs):
+            try:
+                barrier.wait(timeout=30)
+                results[slot] = scheduler.submit(jobs).collect()
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=consume, args=(slot, jobs))
+            for slot, jobs in enumerate(matrices)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        return results
+
+    def test_overlapping_submissions_execute_each_key_once(self):
+        workloads = small_workloads(3)
+        jobs_a = jobs_for(("lru", "itp"), workloads)  # 6 cells
+        jobs_b = jobs_for(("itp", "xptp"), workloads)  # 6 cells, 3 shared
+        unique = len({job_key(j) for j in jobs_a + jobs_b})
+        assert unique == 9  # the overlap is real
+
+        scheduler = Scheduler(SchedulerConfig.from_knobs(1, False))
+        res_a, res_b = self._submit_concurrently(scheduler, [jobs_a, jobs_b])
+
+        assert scheduler.simulations == unique
+        assert scheduler.dedup_hits == len(jobs_a) + len(jobs_b) - unique
+        # Complete, order-preserved results for both callers.
+        assert [r.workload for r in res_a] == [j.workload_name for j in jobs_a]
+        assert [r.workload for r in res_b] == [j.workload_name for j in jobs_b]
+        # Shared cells settle to the same result object in both matrices.
+        by_key = {job_key(j): r for j, r in zip(jobs_a, res_a)}
+        for job, result in zip(jobs_b, res_b):
+            if job_key(job) in by_key:
+                assert result is by_key[job_key(job)]
+
+    def test_concurrent_results_bit_identical_to_serial(self):
+        jobs_a = jobs_for(("lru", "itp"))
+        jobs_b = jobs_for(("itp", "xptp"))
+        scheduler = Scheduler(SchedulerConfig.from_knobs(1, False))
+        res_a, res_b = self._submit_concurrently(scheduler, [jobs_a, jobs_b])
+        serial_a = ParallelRunner(workers=1).run(jobs_a)
+        serial_b = ParallelRunner(workers=1).run(jobs_b)
+        for got, want in zip(res_a + res_b, serial_a + serial_b):
+            assert_same_result(got, want)
+
+    def test_chaos_concurrent_submissions_converge_to_serial(
+        self, tmp_path, monkeypatch
+    ):
+        """Crashing workers and a torn cache write must not break dedup or
+        change any settled result vs a clean serial run."""
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            "worker.crash:1:0::lru x w0,cache.torn-write:1:0:1",
+        )
+        fault_plan_mod._env_cache = (None, None)
+        jobs_a = jobs_for(("lru", "itp"))
+        jobs_b = jobs_for(("itp", "xptp"))
+        config = SchedulerConfig.from_knobs(
+            2, False, max_retries=2, max_pool_restarts=4
+        )
+        scheduler = Scheduler(config, cache=ResultCache(tmp_path))
+        res_a, res_b = self._submit_concurrently(scheduler, [jobs_a, jobs_b])
+        assert scheduler.simulations == len({job_key(j) for j in jobs_a + jobs_b})
+
+        monkeypatch.delenv("REPRO_FAULTS")
+        fault_plan_mod._env_cache = (None, None)
+        serial_a = ParallelRunner(workers=1).run(jobs_a)
+        serial_b = ParallelRunner(workers=1).run(jobs_b)
+        for got, want in zip(res_a + res_b, serial_a + serial_b):
+            assert_same_result(got, want)
+
+    def test_late_submission_attaches_to_settled_cells(self, tmp_path):
+        scheduler = Scheduler(
+            SchedulerConfig.from_knobs(1, False), cache=ResultCache(tmp_path)
+        )
+        jobs = jobs_for(("lru",))
+        first = scheduler.submit(jobs).collect()
+        second = scheduler.submit(jobs).collect()
+        assert scheduler.simulations == len(jobs)
+        assert scheduler.dedup_hits == len(jobs)
+        for a, b in zip(first, second):
+            assert a is b
+
+
+class TestStreaming:
+    def test_yields_every_index_exactly_once(self):
+        jobs = jobs_for(("lru", "itp"))
+        runner = ParallelRunner(workers=1)
+        seen = {}
+        for index, cell, result in runner.run_iter(jobs):
+            assert index not in seen
+            assert cell.cell == jobs[index].cell
+            assert result.workload == jobs[index].workload_name
+            seen[index] = result
+        assert sorted(seen) == list(range(len(jobs)))
+
+    def test_cached_cells_yield_immediately_in_job_order(self, tmp_path):
+        runner = ParallelRunner(workers=1, cache_dir=tmp_path)
+        warm = jobs_for(("lru",))
+        runner.run(warm)
+        # Superset matrix: the warm cells must stream out first, in job
+        # order, before any fresh cell simulates.
+        jobs = warm + jobs_for(("itp",))
+        order = [index for index, _cell, _result in runner.run_iter(jobs)]
+        assert order[: len(warm)] == list(range(len(warm)))
+        statuses = [cell.status for cell in runner.last_report.cells]
+        assert statuses[: len(warm)] == ["cached"] * len(warm)
+        assert statuses[len(warm):] == ["ok"] * (len(jobs) - len(warm))
+
+    def test_run_iter_module_helper_uses_default_runner(self):
+        previous = set_default_runner(ParallelRunner(workers=1))
+        try:
+            jobs = jobs_for(("lru",))
+            rows = list(run_iter(jobs))
+            assert len(rows) == len(jobs)
+        finally:
+            set_default_runner(previous)
+
+
+class TestThreadBackend:
+    def test_thread_backend_matches_serial(self):
+        jobs = jobs_for(("lru", "itp"))
+        threaded = ParallelRunner(workers=4, backend="thread").run(jobs)
+        serial = ParallelRunner(workers=1).run(jobs)
+        for got, want in zip(threaded, serial):
+            assert_same_result(got, want)
+
+
+class TestConfigureDefaultRunner:
+    def test_unset_workers_falls_back_to_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        previous = set_default_runner(None)
+        try:
+            runner = configure_default_runner(cache_dir=tmp_path)
+            assert runner.workers == 3
+        finally:
+            set_default_runner(previous)
+
+    def test_explicit_workers_still_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        previous = set_default_runner(None)
+        try:
+            assert configure_default_runner(workers=1).workers == 1
+        finally:
+            set_default_runner(previous)

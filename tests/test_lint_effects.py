@@ -385,6 +385,7 @@ def liveness_rule(hot, names=frozenset()):
         exempt_prefixes=(),
         exempt_qual_prefixes=(),
         manifest_relkey="lint/manifest.py",
+        worker_entry_points={},
     )
 
 
